@@ -1,0 +1,91 @@
+//! The JumpSwitches evaluation configuration.
+//!
+//! JumpSwitches replace each kernel indirect call with an inline chain of
+//! compare-and-direct-call "switches" patched *at runtime* from observed
+//! targets; unpromoted targets fall back to a retpoline, and multi-target
+//! sites are periodically downgraded to a learning retpoline to re-learn
+//! their target set — the behaviour the paper identifies as JumpSwitches'
+//! weakness on multi-target-heavy workloads (§8.2, Table 4).
+//!
+//! The runtime dynamics are simulated by [`pibe_sim`]'s executor (see
+//! [`JumpSwitchConfig`]); this module packages the evaluation setup:
+//! a retpolines-hardened kernel whose forward edges use JumpSwitches.
+
+use pibe_harden::DefenseSet;
+use pibe_sim::{JumpSwitchConfig, SimConfig};
+
+/// The simulator configuration for a JumpSwitches kernel: retpolines
+/// protect whatever the switches miss (and returns stay *unprotected* —
+/// JumpSwitches only supports forward-edge optimization, which is why the
+/// paper's comparison is restricted to the retpolines-only configuration).
+pub fn jumpswitch_sim_config(js: JumpSwitchConfig) -> SimConfig {
+    SimConfig {
+        defenses: DefenseSet::RETPOLINES,
+        jumpswitch: Some(js),
+        ..SimConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_ir::{FuncId, FunctionBuilder, Module};
+    use pibe_sim::{MapResolver, Simulator};
+
+    /// §8.2: "For indirect calls with more than one common target, the
+    /// JumpSwitch mechanism must be periodically put in a learning state" —
+    /// multi-target sites accumulate learning-mode cycles; single-target
+    /// sites settle and stay patched.
+    #[test]
+    fn multi_target_sites_pay_periodic_relearning() {
+        let mut m = Module::new("m");
+        let mk = |m: &mut Module, name: &str| {
+            let mut b = FunctionBuilder::new(name, 0);
+            b.ret();
+            m.add_function(b.build())
+        };
+        let t0 = mk(&mut m, "t0");
+        let t1 = mk(&mut m, "t1");
+        let t2 = mk(&mut m, "t2");
+        let site = m.fresh_site();
+        let mut b = FunctionBuilder::new("root", 0);
+        b.call_indirect(site, 0);
+        b.ret();
+        let root = m.add_function(b.build());
+
+        let learn_cycles = |targets: Vec<(FuncId, u32)>| {
+            let mut r = MapResolver::new();
+            r.insert(site, targets);
+            let mut cfg = jumpswitch_sim_config(JumpSwitchConfig::default());
+            cfg.jumpswitch = Some(JumpSwitchConfig {
+                relearn_period: 64,
+                ..JumpSwitchConfig::default()
+            });
+            let mut sim = Simulator::new(&m, r, 11, cfg);
+            for _ in 0..2000 {
+                sim.call_entry(root).expect("runs");
+            }
+            sim.stats().jumpswitch_learn_cycles
+        };
+        let single = learn_cycles(vec![(t0, 1)]);
+        let multi = learn_cycles(vec![(t0, 2), (t1, 1), (t2, 1)]);
+        assert!(
+            multi > 4 * single.max(1),
+            "multi-target relearning dominates: {multi} vs {single}"
+        );
+    }
+
+    #[test]
+    fn config_pairs_retpolines_with_jumpswitches() {
+        let cfg = jumpswitch_sim_config(JumpSwitchConfig::default());
+        assert_eq!(cfg.defenses, DefenseSet::RETPOLINES);
+        assert!(cfg.jumpswitch.is_some());
+    }
+
+    #[test]
+    fn default_jumpswitch_has_bounded_slots() {
+        let js = JumpSwitchConfig::default();
+        assert!(js.max_slots <= 8, "inline chains are slot-limited");
+        assert!(js.learn_calls > 0 && js.relearn_period > js.learn_calls);
+    }
+}

@@ -1,0 +1,22 @@
+//! # pibe-baselines
+//!
+//! The two systems the paper compares PIBE against:
+//!
+//! * [`jumpswitches`] — JumpSwitches (Amit et al., USENIX ATC '19), the
+//!   state-of-the-art *runtime* indirect-call promotion mechanism (§8.2).
+//!   The runtime learning/patching dynamics live in the simulator
+//!   ([`pibe_sim::JumpSwitchConfig`]); this module provides the evaluation
+//!   configuration (retpoline-hardened image + JumpSwitch forward edges).
+//! * [`llvm_inliner`] — LLVM's default (PGO) inliner: a bottom-up traversal
+//!   whose "inlining decisions are made solely based on size complexity and
+//!   inline hints" (§8.4), used to show that PIBE's hot-first *ordering* —
+//!   not mere aggressiveness — delivers the win.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod jumpswitches;
+pub mod llvm_inliner;
+
+pub use jumpswitches::jumpswitch_sim_config;
+pub use llvm_inliner::{run_llvm_inliner, LlvmInlinerConfig, LlvmInlinerStats};

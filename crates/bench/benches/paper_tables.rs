@@ -1,0 +1,42 @@
+//! Regenerates every paper table as part of `cargo bench`, at a reduced
+//! kernel scale so the whole sweep stays fast. For the full-scale record
+//! (the numbers in EXPERIMENTS.md) run:
+//!
+//! ```text
+//! cargo run --release -p pibe-bench --bin tables -- --scale 1.0 --iters 48 --rounds 11
+//! ```
+
+use pibe::experiments::{self, Lab};
+use pibe_kernel::KernelSpec;
+use std::time::Instant;
+
+fn main() {
+    // `cargo bench -- --bench` passes extra flags; ignore them.
+    let t0 = Instant::now();
+    println!("# PIBE paper-table regeneration (reduced scale)");
+    println!("\n{}", experiments::table1());
+    println!("\n{}", experiments::figure1());
+
+    let lab = Lab::new(
+        KernelSpec {
+            scale: 0.08,
+            ..KernelSpec::paper()
+        },
+        16,
+        2,
+    );
+    println!("\n{}", experiments::table2(&lab));
+    println!("\n{}", experiments::table3(&lab));
+    println!("\n{}", experiments::table4(&lab));
+    println!("\n{}", experiments::table5(&lab));
+    println!("\n{}", experiments::table6(&lab));
+    println!("\n{}", experiments::table7(&lab, 24));
+    println!("\n{}", experiments::table8(&lab));
+    println!("\n{}", experiments::table9(&lab));
+    println!("\n{}", experiments::table10(&lab));
+    println!("\n{}", experiments::table11(&lab));
+    println!("\n{}", experiments::table12(&lab));
+    let (robust, _) = experiments::robustness(&lab, 24);
+    println!("\n{robust}");
+    println!("\n# regenerated all tables in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,98 @@
+//! Component timing: kernel generation, profiling, and each optimization
+//! pass. These are the build-time costs of PIBE's pipeline (the paper's
+//! artifact compiles a kernel per configuration; our analogue is pass
+//! runtime over the synthetic kernel).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pibe_baselines::{run_llvm_inliner, LlvmInlinerConfig};
+use pibe_kernel::measure::collect_profile;
+use pibe_kernel::workloads::{lmbench_suite, WorkloadSpec};
+use pibe_kernel::{Kernel, KernelSpec};
+use pibe_passes::{
+    promote_indirect_calls, run_inliner, IcpConfig, InlinerConfig, SiteWeights,
+};
+use pibe_profile::Budget;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let spec = KernelSpec::test();
+    let kernel = Kernel::generate(spec);
+    let workload = WorkloadSpec::lmbench();
+    let suite = lmbench_suite(8);
+    let profile =
+        collect_profile(&kernel, &workload, &suite, 2, 7).expect("profiling succeeds");
+
+    c.bench_function("generate_kernel_test_scale", |b| {
+        b.iter(|| Kernel::generate(spec))
+    });
+
+    c.bench_function("collect_lmbench_profile", |b| {
+        b.iter(|| collect_profile(&kernel, &workload, &suite, 1, 7).unwrap())
+    });
+
+    c.bench_function("icp_pass_99_9999", |b| {
+        b.iter_batched(
+            || (kernel.module.clone(), SiteWeights::from_profile(&profile)),
+            |(mut m, mut w)| {
+                promote_indirect_calls(
+                    &mut m,
+                    &mut w,
+                    &profile,
+                    &IcpConfig {
+                        budget: Budget::P99_9999,
+                        max_targets_per_site: None,
+                    },
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Inliner input: post-ICP module + extended weights, cloned per iter.
+    let (icp_module, icp_weights) = {
+        let mut m = kernel.module.clone();
+        let mut w = SiteWeights::from_profile(&profile);
+        promote_indirect_calls(
+            &mut m,
+            &mut w,
+            &profile,
+            &IcpConfig {
+                budget: Budget::P99_9999,
+                max_targets_per_site: None,
+            },
+        );
+        (m, w)
+    };
+
+    c.bench_function("pibe_inliner_99_9999", |b| {
+        b.iter_batched(
+            || icp_module.clone(),
+            |mut m| {
+                run_inliner(
+                    &mut m,
+                    &icp_weights,
+                    &profile,
+                    &InlinerConfig {
+                        budget: Budget::P99_9999,
+                        ..InlinerConfig::default()
+                    },
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("llvm_default_inliner", |b| {
+        b.iter_batched(
+            || icp_module.clone(),
+            |mut m| run_llvm_inliner(&mut m, &icp_weights, &LlvmInlinerConfig::default()),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Simulation throughput per image configuration: how fast the simulator
+//! executes the LMBench `read` path on unoptimized vs PIBE-optimized
+//! images, with and without comprehensive defenses. The *ratios* between
+//! these timings are not the experiment (cycle counts are — see the
+//! `tables` binary); this bench tracks the harness's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pibe::PibeConfig;
+use pibe_harden::DefenseSet;
+use pibe_kernel::measure::run_latency;
+use pibe_kernel::workloads::Benchmark;
+use pibe_kernel::Syscall;
+use pibe_sim::SimConfig;
+
+fn bench_simulation(c: &mut Criterion) {
+    let lab = pibe_bench::quick_lab();
+    let bench = Benchmark {
+        syscall: Syscall::Read,
+        iterations: 16,
+        warmup: 4,
+    };
+
+    let configs: Vec<(&str, pibe::Image)> = vec![
+        ("lto_undefended", lab.image(&PibeConfig::lto())),
+        ("lto_all_defenses", lab.image(&PibeConfig::lto_with(DefenseSet::ALL))),
+        ("pibe_lax_all_defenses", lab.image(&PibeConfig::lax(DefenseSet::ALL))),
+    ];
+
+    let mut group = c.benchmark_group("simulate_read_path");
+    for (name, image) in &configs {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    defenses: image.config.defenses,
+                    ..SimConfig::default()
+                };
+                run_latency(&image.module, &lab.kernel, &lab.workload, bench, cfg, 7)
+                    .expect("read benchmark runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation
+}
+criterion_main!(benches);

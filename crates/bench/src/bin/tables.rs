@@ -1,0 +1,219 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! tables [--scale F] [--iters N] [--rounds N] [--requests N] [--only LIST]
+//!
+//!   --scale F      kernel scale: 1.0 = the paper's Linux 5.1 census
+//!                  (default 0.15; use 1.0 for the EXPERIMENTS.md record)
+//!   --iters N      LMBench iterations per benchmark (default 24)
+//!   --rounds N     profiling rounds to aggregate (default 3; paper: 11)
+//!   --requests N   macro-benchmark requests (default 40)
+//!   --only LIST    comma-separated subset, e.g. "1,5,robustness,fig1"
+//!   --json PATH    additionally write all regenerated tables as JSON
+//! ```
+
+use pibe::experiments::{self, Lab};
+use pibe_kernel::KernelSpec;
+use std::time::Instant;
+
+struct Args {
+    scale: f64,
+    iters: u32,
+    rounds: u32,
+    requests: u32,
+    only: Option<Vec<String>>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.15,
+        iters: 24,
+        rounds: 3,
+        requests: 40,
+        only: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = val().parse().expect("--scale takes a float"),
+            "--iters" => args.iters = val().parse().expect("--iters takes an integer"),
+            "--rounds" => args.rounds = val().parse().expect("--rounds takes an integer"),
+            "--requests" => args.requests = val().parse().expect("--requests takes an integer"),
+            "--only" => args.only = Some(val().split(',').map(str::to_string).collect()),
+            "--json" => args.json = Some(val()),
+            "--all" => args.only = None,
+            "--list" => {
+                println!(
+                    "available keys: 1 fig1 2 3 4 5 6 7 8 9 10 11 12 \
+                     robustness refill breakdown v1 eibrs userspace convergence"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let wanted = |key: &str| {
+        args.only
+            .as_ref()
+            .is_none_or(|list| list.iter().any(|k| k == key))
+    };
+    let mut produced: Vec<pibe::report::Table> = Vec::new();
+
+    println!("; PIBE reproduction — table regeneration");
+    println!(
+        "; kernel scale {}, {} LMBench iters, {} profiling rounds, {} macro requests",
+        args.scale, args.iters, args.rounds, args.requests
+    );
+
+    // Table 1 and Figure 1 need no kernel.
+    if wanted("1") {
+        let t0 = Instant::now();
+        let t = experiments::table1();
+        println!("\n{t}");
+        produced.push(t);
+        eprintln!("[table 1 in {:.1?}]", t0.elapsed());
+    }
+    if wanted("fig1") {
+        let t = experiments::figure1();
+        println!("\n{t}");
+        produced.push(t);
+    }
+
+    let lab_keys = [
+        "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "robustness", "refill", "breakdown", "v1", "eibrs", "userspace", "convergence",
+    ];
+    if !lab_keys.iter().any(|k| wanted(k)) {
+        write_json(&args, &produced);
+        return;
+    }
+
+    let t0 = Instant::now();
+    let spec = KernelSpec {
+        scale: args.scale,
+        ..KernelSpec::paper()
+    };
+    let lab = Lab::new(spec, args.iters, args.rounds);
+    let census = lab.kernel.module.census();
+    eprintln!(
+        "[lab ready in {:.1?}: {} functions, {} icall sites, {} return sites]",
+        t0.elapsed(),
+        lab.kernel.module.len(),
+        census.indirect_calls,
+        census.returns
+    );
+
+    type TableFn = dyn Fn(&Lab) -> pibe::report::Table;
+    let simple: [(&str, &TableFn); 9] = [
+        ("2", &experiments::table2),
+        ("3", &experiments::table3),
+        ("4", &experiments::table4),
+        ("5", &experiments::table5),
+        ("6", &experiments::table6),
+        ("8", &experiments::table8),
+        ("9", &experiments::table9),
+        ("10", &experiments::table10),
+        ("11", &experiments::table11),
+    ];
+    for (key, f) in simple {
+        if wanted(key) {
+            let t0 = Instant::now();
+            let table = f(&lab);
+            println!("\n{table}");
+            produced.push(table);
+            eprintln!("[table {key} in {:.1?}]", t0.elapsed());
+        }
+    }
+    if wanted("12") {
+        let t0 = Instant::now();
+        let table = experiments::table12(&lab);
+        println!("\n{table}");
+        produced.push(table);
+        eprintln!("[table 12 in {:.1?}]", t0.elapsed());
+    }
+    if wanted("7") {
+        let t0 = Instant::now();
+        let t = experiments::table7(&lab, args.requests);
+        println!("\n{t}");
+        produced.push(t);
+        eprintln!("[table 7 in {:.1?}]", t0.elapsed());
+    }
+    if wanted("convergence") {
+        let t0 = Instant::now();
+        let (table, _) = experiments::profiling_convergence(&lab);
+        println!("\n{table}");
+        produced.push(table);
+        eprintln!("[convergence in {:.1?}]", t0.elapsed());
+    }
+    if wanted("eibrs") {
+        let t0 = Instant::now();
+        let (table, _) = experiments::eibrs_comparison(&lab);
+        println!("\n{table}");
+        produced.push(table);
+        eprintln!("[eibrs in {:.1?}]", t0.elapsed());
+    }
+    if wanted("userspace") {
+        let t0 = Instant::now();
+        let (table, _) = experiments::userspace(400);
+        println!("\n{table}");
+        produced.push(table);
+        eprintln!("[userspace in {:.1?}]", t0.elapsed());
+    }
+    if wanted("v1") {
+        let t0 = Instant::now();
+        let (table, _) = experiments::spectre_v1_fencing(&lab);
+        println!("\n{table}");
+        produced.push(table);
+        eprintln!("[v1 in {:.1?}]", t0.elapsed());
+    }
+    if wanted("breakdown") {
+        let t0 = Instant::now();
+        let (table, _) = experiments::cycle_breakdown(&lab);
+        println!("\n{table}");
+        produced.push(table);
+        eprintln!("[breakdown in {:.1?}]", t0.elapsed());
+    }
+    if wanted("refill") {
+        let t0 = Instant::now();
+        let (table, _) = experiments::rsb_refill_comparison(&lab);
+        println!("\n{table}");
+        produced.push(table);
+        eprintln!("[refill in {:.1?}]", t0.elapsed());
+    }
+    if wanted("robustness") {
+        let t0 = Instant::now();
+        let (table, _) = experiments::robustness(&lab, args.requests);
+        println!("\n{table}");
+        produced.push(table);
+        eprintln!("[robustness in {:.1?}]", t0.elapsed());
+    }
+    write_json(&args, &produced);
+}
+
+/// Writes the regenerated tables as a JSON document when `--json` was given.
+fn write_json(args: &Args, tables: &[pibe::report::Table]) {
+    let Some(path) = &args.json else { return };
+    let doc = serde_json::json!({
+        "scale": args.scale,
+        "iters": args.iters,
+        "rounds": args.rounds,
+        "requests": args.requests,
+        "tables": tables,
+    });
+    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("tables serialize"))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("[wrote {path}]");
+}

@@ -1,0 +1,28 @@
+//! # pibe-bench
+//!
+//! Benchmark harnesses for the PIBE reproduction:
+//!
+//! * the [`tables`](../src/bin/tables.rs) binary regenerates every table
+//!   and figure of the paper's evaluation section
+//!   (`cargo run --release -p pibe-bench --bin tables -- --all`);
+//! * the Criterion benches under `benches/` time the pipeline components
+//!   and run the ablation sweeps DESIGN.md calls out (inliner thresholds,
+//!   ICP target caps, greedy-vs-bottom-up ordering).
+//!
+//! This library exposes the shared setup used by both.
+
+#![warn(missing_docs)]
+
+use pibe::experiments::Lab;
+use pibe_kernel::KernelSpec;
+
+/// Builds the lab the Criterion benches share: a mid-size kernel, enough
+/// iterations for stable shapes, profile aggregated over 3 rounds.
+pub fn bench_lab() -> Lab {
+    Lab::new(KernelSpec::bench(), 24, 3)
+}
+
+/// Builds a small lab for smoke-testing the harnesses quickly.
+pub fn quick_lab() -> Lab {
+    Lab::new(KernelSpec::test(), 8, 2)
+}

@@ -1,0 +1,134 @@
+//! Pipeline configuration: the paper's evaluated build configurations.
+
+use pibe_harden::DefenseSet;
+use pibe_passes::{IcpConfig, InlinerConfig};
+use pibe_profile::Budget;
+use serde::{Deserialize, Serialize};
+
+/// One kernel build configuration: which optimizations run (and at what
+/// budget) and which defenses harden the result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PibeConfig {
+    /// Indirect call promotion, if enabled.
+    pub icp: Option<IcpConfig>,
+    /// The security inliner, if enabled.
+    pub inliner: Option<InlinerConfig>,
+    /// Defenses applied to the remaining branches.
+    pub defenses: DefenseSet,
+}
+
+impl PibeConfig {
+    /// The LTO baseline: no profile-guided optimization, no defenses —
+    /// "how Linux is typically deployed" (§8.1).
+    pub fn lto() -> Self {
+        PibeConfig {
+            icp: None,
+            inliner: None,
+            defenses: DefenseSet::NONE,
+        }
+    }
+
+    /// LTO plus defenses, still no optimization (the costly upper rows of
+    /// Tables 3 and 5).
+    pub fn lto_with(defenses: DefenseSet) -> Self {
+        PibeConfig {
+            defenses,
+            ..Self::lto()
+        }
+    }
+
+    /// Indirect call promotion only, at `budget` (Table 3's "+icp"
+    /// columns; paired with retpolines in the paper).
+    pub fn icp_only(budget: Budget, defenses: DefenseSet) -> Self {
+        PibeConfig {
+            icp: Some(IcpConfig {
+                budget,
+                max_targets_per_site: None,
+            }),
+            inliner: None,
+            defenses,
+        }
+    }
+
+    /// Both optimizations at `budget` (Table 5's "+icp +inlining" columns).
+    pub fn full(budget: Budget, defenses: DefenseSet) -> Self {
+        PibeConfig {
+            icp: Some(IcpConfig {
+                budget,
+                max_targets_per_site: None,
+            }),
+            inliner: Some(InlinerConfig {
+                budget,
+                ..InlinerConfig::default()
+            }),
+            defenses,
+        }
+    }
+
+    /// The paper's optimal configuration (§8.3): budget 99.9999% with the
+    /// size heuristics disabled for sites inside the 99% prefix
+    /// ("lax heuristics"), reducing the comprehensive defense to 10.6%.
+    pub fn lax(defenses: DefenseSet) -> Self {
+        PibeConfig {
+            icp: Some(IcpConfig {
+                budget: Budget::P99_9999,
+                max_targets_per_site: None,
+            }),
+            inliner: Some(InlinerConfig {
+                budget: Budget::P99_9999,
+                lax_heuristics: true,
+                lax_budget: Budget::P99,
+                ..InlinerConfig::default()
+            }),
+            defenses,
+        }
+    }
+
+    /// The PIBE performance baseline of Table 2: the best optimization
+    /// configuration with *no* defenses ("tuned to give the best possible
+    /// performance on the LMBench test suite").
+    pub fn pibe_baseline() -> Self {
+        Self::lax(DefenseSet::NONE)
+    }
+
+    /// Whether any optimization pass runs.
+    pub fn optimizes(&self) -> bool {
+        self.icp.is_some() || self.inliner.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lto_neither_optimizes_nor_defends() {
+        let c = PibeConfig::lto();
+        assert!(!c.optimizes());
+        assert!(c.defenses.is_none());
+    }
+
+    #[test]
+    fn full_config_runs_both_passes_at_one_budget() {
+        let c = PibeConfig::full(Budget::P99_9, DefenseSet::ALL);
+        assert_eq!(c.icp.unwrap().budget, Budget::P99_9);
+        assert_eq!(c.inliner.unwrap().budget, Budget::P99_9);
+        assert_eq!(c.defenses, DefenseSet::ALL);
+        assert!(c.optimizes());
+    }
+
+    #[test]
+    fn lax_config_matches_section_8_3() {
+        let c = PibeConfig::lax(DefenseSet::ALL);
+        let inl = c.inliner.unwrap();
+        assert!(inl.lax_heuristics);
+        assert_eq!(inl.budget, Budget::P99_9999);
+        assert_eq!(inl.lax_budget, Budget::P99);
+    }
+
+    #[test]
+    fn pibe_baseline_has_no_defenses() {
+        assert!(PibeConfig::pibe_baseline().defenses.is_none());
+        assert!(PibeConfig::pibe_baseline().optimizes());
+    }
+}

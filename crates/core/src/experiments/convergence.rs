@@ -1,0 +1,76 @@
+//! Profiling convergence: how many profiling rounds are enough?
+//!
+//! The paper aggregates 11 LMBench iterations "to obtain an exact profiling
+//! workload" (§8). This experiment measures what those extra rounds buy:
+//! the optimization-candidate overlap between an n-round profile and the
+//! lab's full reference profile, at the 99.9% budget. Hot candidates
+//! stabilise almost immediately (they dominate every round); the tail —
+//! rarely-taken hooks, low-weight targets — is what the extra rounds
+//! gradually pick up.
+
+use super::Lab;
+use crate::report::{pct, Table};
+use pibe_kernel::measure::collect_profile;
+use pibe_profile::{overlap, Budget};
+use serde::{Deserialize, Serialize};
+
+/// Overlap of an n-round profile's candidates with the reference profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Profiling rounds aggregated.
+    pub rounds: u32,
+    /// ICP candidate-weight overlap with the reference (%).
+    pub icp_shared_pct: f64,
+    /// Inlining candidate-weight overlap with the reference (%).
+    pub inline_shared_pct: f64,
+}
+
+/// Measures candidate overlap for 1, 2, 4, and 8 aggregated rounds against
+/// the lab's reference profile.
+pub fn profiling_convergence(lab: &Lab) -> (Table, Vec<ConvergencePoint>) {
+    let mut table = Table::new(
+        "Profiling convergence: candidate overlap with the reference profile (99.9% budget)",
+        &["rounds", "icp candidates shared", "inline candidates shared"],
+    );
+    let mut out = Vec::new();
+    for rounds in [1u32, 2, 4, 8] {
+        let p = collect_profile(&lab.kernel, &lab.workload, &lab.suite, rounds, lab.seed)
+            .expect("profiling run succeeds");
+        let ov = overlap::overlap(&lab.profile, &p, Budget::P99_9);
+        let point = ConvergencePoint {
+            rounds,
+            icp_shared_pct: ov.icp_shared_weight * 100.0,
+            inline_shared_pct: ov.inline_shared_weight * 100.0,
+        };
+        table.row(vec![
+            rounds.to_string(),
+            pct(point.icp_shared_pct),
+            pct(point.inline_shared_pct),
+        ]);
+        out.push(point);
+    }
+    (table, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_round_already_captures_most_hot_weight() {
+        let lab = Lab::test();
+        let (_, points) = profiling_convergence(&lab);
+        assert_eq!(points.len(), 4);
+        // Even a single round covers the bulk of the candidate weight —
+        // hot sites dominate every round.
+        assert!(
+            points[0].inline_shared_pct > 60.0,
+            "round 1 inline overlap: {:.1}%",
+            points[0].inline_shared_pct
+        );
+        // More rounds never lose ground dramatically (hot sets are stable).
+        let last = points.last().unwrap();
+        assert!(last.icp_shared_pct >= points[0].icp_shared_pct - 5.0);
+        assert!(last.inline_shared_pct > 75.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Regeneration of every table and figure in the paper's evaluation.
+//!
+//! A [`Lab`] owns the generated kernel, the profiling workload's aggregated
+//! profile, and the LTO baseline measurements every experiment compares
+//! against. Each `table*` function reproduces one table of the paper; see
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record.
+
+mod breakdown;
+mod convergence;
+mod eibrs;
+mod perf;
+mod refill;
+mod robustness;
+mod security;
+mod userspace;
+mod v1;
+
+pub use breakdown::{cycle_breakdown, CycleBreakdown};
+pub use convergence::{profiling_convergence, ConvergencePoint};
+pub use eibrs::{eibrs_comparison, ForwardEdgePosture};
+pub use perf::{figure1, table1, table2, table3, table5, table6, table7};
+pub use refill::{rsb_refill_comparison, BackwardEdgePosture};
+pub use robustness::{robustness, RobustnessSummary};
+pub use security::{table10, table11, table12, table4, table8, table9};
+pub use userspace::{userspace, UserspaceSummary};
+pub use v1::{spectre_v1_fencing, V1Summary};
+
+use crate::config::PibeConfig;
+use crate::eval::{self, LatencyRow};
+use crate::pipeline::{build_image, Image};
+use pibe_harden::DefenseSet;
+use pibe_kernel::measure::collect_profile;
+use pibe_kernel::workloads::{lmbench_suite, Benchmark, WorkloadSpec};
+use pibe_kernel::{Kernel, KernelSpec};
+use pibe_profile::Profile;
+use pibe_sim::SimConfig;
+
+/// The experiment harness: one generated kernel, one profiling run, shared
+/// across all tables.
+#[derive(Debug)]
+pub struct Lab {
+    /// The synthetic kernel under evaluation.
+    pub kernel: Kernel,
+    /// The LMBench profiling workload.
+    pub workload: WorkloadSpec,
+    /// The latency suite (Table 2's 20 benchmarks).
+    pub suite: Vec<Benchmark>,
+    /// Profile aggregated over the profiling rounds (11 in the paper).
+    pub profile: Profile,
+    /// LTO-baseline latencies (no optimization, no defenses).
+    pub lto_latencies: Vec<LatencyRow>,
+    /// Simulation seed shared by all measurements.
+    pub seed: u64,
+}
+
+impl Lab {
+    /// Builds a lab: generates the kernel, collects the aggregated LMBench
+    /// profile (`rounds` runs, 11 in the paper), and measures the LTO
+    /// baseline.
+    pub fn new(spec: KernelSpec, iters: u32, rounds: u32) -> Lab {
+        let kernel = Kernel::generate(spec);
+        let workload = WorkloadSpec::lmbench();
+        let suite = lmbench_suite(iters);
+        let seed = 0xBA5E;
+        let profile = collect_profile(&kernel, &workload, &suite, rounds, seed)
+            .expect("profiling run must succeed");
+        let lto_latencies = eval::lmbench_latencies(
+            &kernel.module,
+            &kernel,
+            &workload,
+            &suite,
+            SimConfig::default(),
+            seed,
+        );
+        Lab {
+            kernel,
+            workload,
+            suite,
+            profile,
+            lto_latencies,
+            seed,
+        }
+    }
+
+    /// A small lab for tests: tiny kernel, few iterations.
+    pub fn test() -> Lab {
+        Lab::new(KernelSpec::test(), 8, 2)
+    }
+
+    /// Builds a production image from this lab's profile.
+    pub fn image(&self, config: &PibeConfig) -> Image {
+        build_image(&self.kernel.module, &self.profile, config)
+    }
+
+    /// Measures the latency suite on `image` under its own defenses.
+    pub fn latencies(&self, image: &Image) -> Vec<LatencyRow> {
+        self.latencies_with(image, SimConfig {
+            defenses: image.config.defenses,
+            ..SimConfig::default()
+        })
+    }
+
+    /// Measures the latency suite on `image` with an explicit simulator
+    /// configuration (used for the JumpSwitches runtime mechanism).
+    pub fn latencies_with(&self, image: &Image, cfg: SimConfig) -> Vec<LatencyRow> {
+        eval::lmbench_latencies(
+            &image.module,
+            &self.kernel,
+            &self.workload,
+            &self.suite,
+            cfg,
+            self.seed,
+        )
+    }
+
+    /// Per-benchmark overhead (%) of `image` relative to the LTO baseline.
+    pub fn overheads(&self, image: &Image) -> Vec<(String, f64)> {
+        let rows = self.latencies(image);
+        self.overheads_of(&rows)
+    }
+
+    /// Overheads of pre-measured rows relative to the LTO baseline.
+    pub fn overheads_of(&self, rows: &[LatencyRow]) -> Vec<(String, f64)> {
+        self.lto_latencies
+            .iter()
+            .zip(rows)
+            .map(|(b, n)| (b.name.clone(), eval::overhead_pct(b.cycles, n.cycles)))
+            .collect()
+    }
+
+    /// Geometric-mean overhead (%) of rows vs the LTO baseline.
+    pub fn geomean(&self, rows: &[LatencyRow]) -> f64 {
+        eval::geomean_overhead_pct(
+            &eval::cycles_of(&self.lto_latencies),
+            &eval::cycles_of(rows),
+        )
+    }
+
+    /// Builds, measures, and summarises one configuration in a single call:
+    /// `(geomean overhead %, per-bench overheads)`.
+    pub fn run_config(&self, config: &PibeConfig) -> (f64, Vec<(String, f64)>) {
+        let image = self.image(config);
+        let rows = self.latencies(&image);
+        (self.geomean(&rows), self.overheads_of(&rows))
+    }
+}
+
+/// The defense configurations of Tables 6 and 7 in display order.
+pub fn defense_sweep() -> [(&'static str, DefenseSet); 4] {
+    [
+        ("w/retpolines", DefenseSet::RETPOLINES),
+        ("w/ret-retpolines", DefenseSet::RET_RETPOLINES),
+        ("w/LVI-CFI", DefenseSet::LVI_CFI),
+        ("w/all-defenses", DefenseSet::ALL),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_profile::Budget;
+
+    #[test]
+    fn lab_builds_and_measures_baseline() {
+        let lab = Lab::test();
+        assert_eq!(lab.lto_latencies.len(), 20);
+        assert!(lab.profile.stats().direct_weight > 0);
+    }
+
+    #[test]
+    fn optimized_defended_image_beats_unoptimized_defended() {
+        let lab = Lab::test();
+        let (lto_all, _) = lab.run_config(&PibeConfig::lto_with(DefenseSet::ALL));
+        let (pibe_all, _) = lab.run_config(&PibeConfig::lax(DefenseSet::ALL));
+        assert!(
+            pibe_all < lto_all / 2.0,
+            "PIBE must cut comprehensive-defense overhead dramatically \
+             (LTO {lto_all:.1}% vs PIBE {pibe_all:.1}%)"
+        );
+        assert!(lto_all > 30.0, "undefended gap is large: {lto_all:.1}%");
+    }
+
+    #[test]
+    fn pibe_baseline_is_faster_than_lto() {
+        let lab = Lab::test();
+        let (g, _) = lab.run_config(&PibeConfig::pibe_baseline());
+        assert!(g < 0.0, "PGO with no defenses speeds the kernel up: {g:.1}%");
+    }
+
+    #[test]
+    fn icp_only_cuts_retpoline_overhead() {
+        let lab = Lab::test();
+        let (lto_retp, _) = lab.run_config(&PibeConfig::lto_with(DefenseSet::RETPOLINES));
+        let (icp_retp, _) = lab.run_config(&PibeConfig::icp_only(
+            Budget::P99_999,
+            DefenseSet::RETPOLINES,
+        ));
+        assert!(
+            icp_retp < lto_retp,
+            "ICP reduces retpoline overhead ({icp_retp:.1}% vs {lto_retp:.1}%)"
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Security and size tables: Table 4 (target multiplicity), Tables 8–10
+//! (gadget elimination statistics), Table 11 (residual attack surface),
+//! Table 12 (image size and memory).
+
+use super::Lab;
+use crate::config::PibeConfig;
+use crate::report::{pct, Table};
+use pibe_harden::DefenseSet;
+use pibe_profile::Budget;
+
+/// The budget sweep shared by Tables 8–12.
+pub(crate) fn budget_sweep() -> [(&'static str, Budget); 3] {
+    [
+        ("99%", Budget::P99),
+        ("99.9%", Budget::P99_9),
+        ("99.9999%", Budget::P99_9999),
+    ]
+}
+
+/// Table 4: distribution of profiled indirect call sites by number of
+/// observed targets.
+pub fn table4(lab: &Lab) -> Table {
+    let hist = lab.profile.target_multiplicity_histogram();
+    let mut t = Table::new(
+        "Table 4: indirect calls by number of targets they invoke",
+        &["Targets", "1", "2", "3", "4", "5", "6", ">6"],
+    );
+    let mut row = vec!["Indirect Calls".to_string()];
+    row.extend(hist.iter().map(|c| c.to_string()));
+    t.row(row);
+    t
+}
+
+/// Table 8: gadgets eliminated per budget — promoted weight/sites/targets
+/// (forward edges) and inlined weight/sites (backward edges), with
+/// percentages of the candidate populations.
+pub fn table8(lab: &Lab) -> Table {
+    let mut t = Table::new(
+        "Table 8: indirect branch gadgets eliminated by PIBE",
+        &[
+            "budget",
+            "icall weight",
+            "call sites",
+            "call targets",
+            "return weight",
+            "return sites",
+        ],
+    );
+    for (name, budget) in budget_sweep() {
+        let img = lab.image(&PibeConfig::full(budget, DefenseSet::ALL));
+        let icp = img.icp_stats.expect("icp ran");
+        let inl = img.inline_stats.expect("inliner ran");
+        let pc = |num: u64, den: u64| {
+            if den == 0 {
+                "-".to_string()
+            } else {
+                pct(num as f64 / den as f64 * 100.0)
+            }
+        };
+        t.row(vec![
+            name.into(),
+            format!("{} ({})", icp.promoted_weight, pc(icp.promoted_weight, icp.total_weight)),
+            format!("{} ({})", icp.promoted_sites, pc(icp.promoted_sites, icp.total_sites)),
+            format!(
+                "{} ({})",
+                icp.promoted_targets,
+                pc(icp.promoted_targets, icp.total_targets)
+            ),
+            format!("{} ({})", inl.inlined_weight, pc(inl.inlined_weight, inl.total_weight)),
+            format!(
+                "{} ({})",
+                inl.inlined_sites,
+                pc(inl.inlined_sites, inl.profiled_sites)
+            ),
+        ]);
+    }
+    t
+}
+
+/// Table 9: inlining weight *not* elided, split by inhibitor — Rule 2
+/// (caller complexity), Rule 3 (callee complexity), and other reasons
+/// (`optnone`/`noinline`/recursion).
+pub fn table9(lab: &Lab) -> Table {
+    let mut t = Table::new(
+        "Table 9: weight not elided due to size heuristics or other reasons",
+        &["budget", "Ovr.", "Rule 2", "Rule 3", "other"],
+    );
+    for (name, budget) in budget_sweep() {
+        let img = lab.image(&PibeConfig::full(budget, DefenseSet::ALL));
+        let s = img.inline_stats.expect("inliner ran");
+        let pc = |w: u64| {
+            if s.total_weight == 0 {
+                "-".to_string()
+            } else {
+                pct(w as f64 / s.total_weight as f64 * 100.0)
+            }
+        };
+        t.row(vec![
+            name.into(),
+            s.total_weight.to_string(),
+            format!("{} ({})", s.blocked_rule2_weight, pc(s.blocked_rule2_weight)),
+            format!("{} ({})", s.blocked_rule3_weight, pc(s.blocked_rule3_weight)),
+            format!("{} ({})", s.blocked_other_weight, pc(s.blocked_other_weight)),
+        ]);
+    }
+    t
+}
+
+/// Table 10: how small a fraction of the kernel's static indirect branches
+/// the algorithms actually touch.
+pub fn table10(lab: &Lab) -> Table {
+    let census = lab.kernel.module.census();
+    let mut t = Table::new(
+        "Table 10: optimization candidates relative to all kernel indirect branches",
+        &["statistic", "icp 99%", "icp 99.9%", "icp 99.9999%", "inl 99%", "inl 99.9%", "inl 99.9999%"],
+    );
+    let mut branches = vec!["Ind. Branches".to_string()];
+    let mut candidates = vec!["Candidates".to_string()];
+    let mut icp_cands = Vec::new();
+    let mut inl_cands = Vec::new();
+    for (_, budget) in budget_sweep() {
+        let img = lab.image(&PibeConfig::full(budget, DefenseSet::ALL));
+        icp_cands.push(img.icp_stats.expect("icp ran").candidate_targets);
+        inl_cands.push(img.inline_stats.expect("inliner ran").candidate_sites);
+    }
+    for _ in 0..3 {
+        branches.push(census.indirect_calls.to_string());
+    }
+    for _ in 0..3 {
+        branches.push(census.returns.to_string());
+    }
+    for c in icp_cands {
+        candidates.push(pct(c as f64 / census.indirect_calls as f64 * 100.0));
+    }
+    for c in inl_cands {
+        candidates.push(pct(c as f64 / census.returns as f64 * 100.0));
+    }
+    t.row(branches);
+    t.row(candidates);
+    t
+}
+
+/// Table 11: forward edges protected/vulnerable under full mitigation, per
+/// budget — protected icalls grow with inlining duplication, and so do the
+/// unhardenable paravirt sites.
+pub fn table11(lab: &Lab) -> Table {
+    let mut t = Table::new(
+        "Table 11: forward edges vulnerable/protected against transient attacks",
+        &["statistic", "no optimization", "99% budget", "99.9% budget", "99.9999% budget"],
+    );
+    let mut audits = vec![lab
+        .image(&PibeConfig::lto_with(DefenseSet::ALL))
+        .audit];
+    for (_, budget) in budget_sweep() {
+        audits.push(lab.image(&PibeConfig::full(budget, DefenseSet::ALL)).audit);
+    }
+    type AuditField = dyn Fn(&pibe_harden::SecurityAudit) -> u64;
+    let row = |name: &str, f: &AuditField| {
+        let mut r = vec![name.to_string()];
+        r.extend(audits.iter().map(|a| f(a).to_string()));
+        r
+    };
+    t.row(row("Def. ICalls", &|a| a.protected_icalls));
+    t.row(row("Vuln. ICalls", &|a| a.vulnerable_icalls));
+    t.row(row("Vuln. IJumps", &|a| a.vulnerable_ijumps));
+    t
+}
+
+/// Table 12: image size and memory growth per configuration and budget.
+/// "abs size" compares against the undefended LTO image; "img size"
+/// against the unoptimized image with the same defenses; "mem size" counts
+/// 2 MiB text pages.
+pub fn table12(lab: &Lab) -> Table {
+    let mut t = Table::new(
+        "Table 12: increase in size and memory usage due to the algorithms",
+        &["config", "budget", "abs size", "img size", "mem size"],
+    );
+    let lto_plain = lab.image(&PibeConfig::lto());
+    type BudgetList = Vec<(&'static str, Budget)>;
+    let sweep: [(&str, DefenseSet, BudgetList); 4] = [
+        (
+            "w/all-defenses",
+            DefenseSet::ALL,
+            budget_sweep().to_vec(),
+        ),
+        (
+            "w/retpolines",
+            DefenseSet::RETPOLINES,
+            vec![("99.999%", Budget::P99_999)],
+        ),
+        (
+            "w/LVI-CFI",
+            DefenseSet::LVI_CFI,
+            vec![("99%", Budget::P99), ("99.9999%", Budget::P99_9999)],
+        ),
+        (
+            "w/ret-retpolines",
+            DefenseSet::RET_RETPOLINES,
+            vec![("99%", Budget::P99), ("99.9999%", Budget::P99_9999)],
+        ),
+    ];
+    for (name, d, budgets) in sweep {
+        let unopt = lab.image(&PibeConfig::lto_with(d));
+        for (bname, budget) in budgets {
+            let img = if d == DefenseSet::RETPOLINES {
+                lab.image(&PibeConfig::icp_only(budget, d))
+            } else {
+                lab.image(&PibeConfig::full(budget, d))
+            };
+            let grow = |n: u64, base: u64| (n as f64 - base as f64) / base as f64 * 100.0;
+            t.row(vec![
+                name.into(),
+                bname.into(),
+                pct(grow(img.size.bytes, lto_plain.size.bytes)),
+                pct(grow(img.size.bytes, unopt.size.bytes)),
+                pct(grow(
+                    img.size.mem_pages_2m.max(1),
+                    unopt.size.mem_pages_2m.max(1),
+                )),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_histogram_is_populated() {
+        let lab = Lab::test();
+        let t = table4(&lab);
+        let total: u64 = t.rows[0][1..]
+            .iter()
+            .map(|c| c.parse::<u64>().unwrap())
+            .sum();
+        assert!(total > 0, "profiled indirect sites exist");
+    }
+
+    #[test]
+    fn table8_elision_grows_with_budget() {
+        let lab = Lab::test();
+        let t = table8(&lab);
+        let sites = |row: usize| {
+            t.rows[row][2]
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert!(sites(2) >= sites(0), "higher budget promotes at least as many sites");
+    }
+
+    #[test]
+    fn table11_has_constant_ijumps_and_growing_vuln_icalls() {
+        let lab = Lab::test();
+        let t = table11(&lab);
+        let vuln_ijumps: Vec<u64> = t.rows[2][1..]
+            .iter()
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert!(vuln_ijumps.iter().all(|v| *v == 5), "{vuln_ijumps:?}");
+        let vuln_icalls: Vec<u64> = t.rows[1][1..]
+            .iter()
+            .map(|c| c.parse().unwrap())
+            .collect();
+        assert!(
+            vuln_icalls.last().unwrap() >= vuln_icalls.first().unwrap(),
+            "inlining duplicates paravirt gadgets: {vuln_icalls:?}"
+        );
+    }
+
+    #[test]
+    fn table12_sizes_grow_with_budget() {
+        let lab = Lab::test();
+        let t = table12(&lab);
+        let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+        let abs_99 = parse(&t.rows[0][2]);
+        let abs_max = parse(&t.rows[2][2]);
+        assert!(abs_max >= abs_99, "size grows with budget");
+        assert!(abs_99 > 0.0, "defenses + optimization add bytes");
+    }
+}

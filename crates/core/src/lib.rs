@@ -1,0 +1,37 @@
+//! # pibe
+//!
+//! The PIBE pipeline: profile-guided indirect branch elimination plus
+//! hardening, orchestrated end to end (§4).
+//!
+//! ```text
+//!            ┌────────────┐   profile    ┌──────────────────────────────┐
+//!  kernel ──►│ simulator  ├─────────────►│ hardening phase              │
+//!            │ (profiling │              │  1. indirect call promotion  │
+//!            │  workload) │              │  2. security inlining        │
+//!            └────────────┘              │  3. defenses on the rest     │
+//!                                        └──────────────┬───────────────┘
+//!                                                       ▼
+//!                                         production image → evaluation
+//! ```
+//!
+//! * [`PibeConfig`] selects the optimization budgets and defenses — the
+//!   paper's evaluated configurations are provided as constructors;
+//! * [`build_image`] runs the hardening phase over a profiled module and
+//!   returns the production image with all transformation statistics;
+//! * [`eval`] measures images against workloads (latency, throughput,
+//!   geometric-mean overhead);
+//! * [`experiments`] regenerates every table and figure in the paper's
+//!   evaluation section (run the `tables` binary from `pibe-bench`);
+//! * [`report`] renders the results as aligned text tables.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+pub mod eval;
+pub mod experiments;
+mod pipeline;
+pub mod report;
+
+pub use config::PibeConfig;
+pub use pipeline::{build_image, Image};

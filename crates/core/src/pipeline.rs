@@ -1,0 +1,165 @@
+//! The hardening phase: profile + config → production image.
+
+use crate::config::PibeConfig;
+use pibe_harden::{audit, costs, HardenReport, SecurityAudit};
+use pibe_ir::Module;
+use pibe_passes::{
+    promote_indirect_calls, run_inliner, IcpStats, InlinerStats, SiteWeights,
+};
+use pibe_profile::Profile;
+use serde::{Deserialize, Serialize};
+
+/// A production kernel image: the transformed module plus every statistic
+/// the evaluation section reports about how it was built.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// The transformed, hardened module.
+    pub module: Module,
+    /// The configuration that built it.
+    pub config: PibeConfig,
+    /// ICP statistics, when promotion ran.
+    pub icp_stats: Option<IcpStats>,
+    /// Inliner statistics, when inlining ran.
+    pub inline_stats: Option<InlinerStats>,
+    /// Jump-table handling report.
+    pub harden_report: HardenReport,
+    /// Static security classification of every indirect branch (Table 11).
+    pub audit: SecurityAudit,
+    /// Image size statistics.
+    pub size: ImageSize,
+}
+
+/// Size measures of an image (Table 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageSize {
+    /// Model machine-code bytes including defense sequences.
+    pub bytes: u64,
+    /// Resident kernel-text memory: bytes rounded up to 2 MiB huge pages
+    /// (why Table 12's "mem size" moves in 12.5%/25% steps).
+    pub mem_pages_2m: u64,
+}
+
+impl ImageSize {
+    fn of(module: &Module, defenses: pibe_harden::DefenseSet) -> Self {
+        let bytes = costs::hardened_image_bytes(module, defenses);
+        ImageSize {
+            bytes,
+            mem_pages_2m: bytes.div_ceil(2 * 1024 * 1024),
+        }
+    }
+}
+
+/// Runs the hardening phase: clones `base`, applies indirect call promotion
+/// and the security inliner per `config` (ICP first, as in the paper), then
+/// the defense transforms, and audits the result.
+///
+/// `base` itself is never modified; experiments build many images from one
+/// profiled kernel.
+pub fn build_image(base: &Module, profile: &Profile, config: &PibeConfig) -> Image {
+    let mut module = base.clone();
+    let mut weights = SiteWeights::from_profile(profile);
+
+    let icp_stats = config
+        .icp
+        .as_ref()
+        .map(|icp| promote_indirect_calls(&mut module, &mut weights, profile, icp));
+    let inline_stats = config
+        .inliner
+        .as_ref()
+        .map(|inl| run_inliner(&mut module, &weights, profile, inl));
+
+    let harden_report = pibe_harden::apply(&mut module, config.defenses);
+    let audit = audit(&module, config.defenses);
+    let size = ImageSize::of(&module, config.defenses);
+
+    debug_assert!(module.verify().is_ok(), "pipeline must preserve validity");
+    Image {
+        module,
+        config: *config,
+        icp_stats,
+        inline_stats,
+        harden_report,
+        audit,
+        size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_harden::DefenseSet;
+    use pibe_kernel::{
+        measure::collect_profile,
+        workloads::{lmbench_suite, WorkloadSpec},
+        Kernel, KernelSpec,
+    };
+    use pibe_profile::Budget;
+
+    fn profiled_kernel() -> (Kernel, Profile) {
+        let k = Kernel::generate(KernelSpec::test());
+        let p = collect_profile(&k, &WorkloadSpec::lmbench(), &lmbench_suite(6), 2, 7)
+            .expect("profiling run succeeds");
+        (k, p)
+    }
+
+    #[test]
+    fn lto_image_is_the_identity() {
+        let (k, p) = profiled_kernel();
+        let img = build_image(&k.module, &p, &PibeConfig::lto());
+        assert_eq!(img.module.code_bytes(), k.module.code_bytes());
+        assert!(img.icp_stats.is_none() && img.inline_stats.is_none());
+    }
+
+    #[test]
+    fn full_image_elides_and_grows() {
+        let (k, p) = profiled_kernel();
+        let img = build_image(&k.module, &p, &PibeConfig::full(Budget::P99_9, DefenseSet::ALL));
+        let icp = img.icp_stats.unwrap();
+        let inl = img.inline_stats.unwrap();
+        assert!(icp.promoted_targets > 0, "hot targets promoted");
+        assert!(inl.inlined_sites > 0, "hot sites inlined");
+        assert!(
+            img.module.code_bytes() > k.module.code_bytes(),
+            "optimization grows the image"
+        );
+        img.module.verify().unwrap();
+    }
+
+    #[test]
+    fn hardening_disables_jump_tables_and_audits() {
+        let (k, p) = profiled_kernel();
+        let img = build_image(&k.module, &p, &PibeConfig::lto_with(DefenseSet::ALL));
+        assert!(img.harden_report.jump_tables_disabled > 0);
+        assert_eq!(img.harden_report.jump_tables_kept, 5, "asm tables remain");
+        assert_eq!(img.audit.vulnerable_ijumps, 5);
+        assert!(img.audit.vulnerable_icalls > 0, "paravirt icalls remain");
+        assert_eq!(img.audit.vulnerable_returns, 0);
+        assert!(img.audit.boot_returns > 0);
+    }
+
+    #[test]
+    fn inlining_duplicates_paravirt_gadgets() {
+        let (k, p) = profiled_kernel();
+        let before = build_image(&k.module, &p, &PibeConfig::lto_with(DefenseSet::ALL));
+        let after = build_image(&k.module, &p, &PibeConfig::lax(DefenseSet::ALL));
+        assert!(
+            after.audit.vulnerable_icalls >= before.audit.vulnerable_icalls,
+            "Table 11: vulnerable icalls grow with inlining ({} -> {})",
+            before.audit.vulnerable_icalls,
+            after.audit.vulnerable_icalls
+        );
+        assert!(after.audit.protected_icalls > before.audit.protected_icalls);
+    }
+
+    #[test]
+    fn image_size_reports_huge_pages() {
+        let (k, p) = profiled_kernel();
+        let img = build_image(&k.module, &p, &PibeConfig::lto());
+        assert_eq!(
+            img.size.mem_pages_2m,
+            img.size.bytes.div_ceil(2 * 1024 * 1024)
+        );
+        let hard = build_image(&k.module, &p, &PibeConfig::lto_with(DefenseSet::ALL));
+        assert!(hard.size.bytes > img.size.bytes, "defense sequences add bytes");
+    }
+}

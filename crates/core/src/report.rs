@@ -1,0 +1,116 @@
+//! Plain-text table rendering for experiment reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rendered experiment table: a title, column headers, and string rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"Table 5: overhead with all defenses enabled"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have as many cells as there are headers.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+        self
+    }
+}
+
+/// Formats a percentage the way the paper prints them (`-6.6%`, `149.1%`).
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Formats a latency in microseconds with two decimals (Table 2 style).
+pub fn micros(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let sep: usize = widths.iter().sum::<usize>() + 3 * ncols.saturating_sub(1);
+        writeln!(f, "{}", "=".repeat(sep.max(self.title.len())))?;
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{h:>width$}", width = widths[i])?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(sep.max(self.title.len())))?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["Test", "Value"]);
+        t.row(vec!["null".into(), "3.4%".into()]);
+        t.row(vec!["fork/shell".into(), "-4.0%".into()]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("fork/shell"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and data lines end aligned.
+        assert_eq!(lines[2].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        let mut t = Table::new("Demo", &["A", "B"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers_match_paper_style() {
+        assert_eq!(pct(-6.64), "-6.6%");
+        assert_eq!(pct(149.12), "149.1%");
+        assert_eq!(micros(0.136), "0.14");
+    }
+}

@@ -1,0 +1,160 @@
+//! Security audit of a hardened image (§8.6, Table 11).
+//!
+//! The paper analyzes kernel binaries to classify every static indirect
+//! branch as *protected* (converted to the appropriate defense sequence) or
+//! *vulnerable* (left exposed). Two residual vulnerable populations exist
+//! even under full mitigation: indirect calls inside inline-assembly
+//! paravirt macros (LLVM cannot retpoline inline asm) and a handful of
+//! assembly-level indirect jumps. Inlining duplicates the former, so the
+//! vulnerable count *grows* with the optimization budget.
+
+use crate::DefenseSet;
+use pibe_ir::{Inst, Module, Terminator};
+use serde::{Deserialize, Serialize};
+
+/// Static classification of every indirect branch in an image.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityAudit {
+    /// The defenses the image was audited against.
+    pub defenses: DefenseSet,
+    /// Indirect calls converted to the defense thunk ("Def. ICalls").
+    pub protected_icalls: u64,
+    /// Indirect calls left vulnerable ("Vuln. ICalls"): inline-asm sites
+    /// always, and every site when no forward-edge defense is enabled.
+    pub vulnerable_icalls: u64,
+    /// Indirect jumps left vulnerable ("Vuln. IJumps"): jump tables that
+    /// survived hardening, and every jump table when no defense is enabled.
+    pub vulnerable_ijumps: u64,
+    /// Returns protected by a backward-edge defense.
+    pub protected_returns: u64,
+    /// Returns left vulnerable (every return when no backward-edge defense
+    /// is enabled; boot-only returns are excluded — see `boot_returns`).
+    pub vulnerable_returns: u64,
+    /// Returns in boot-only code: unprotected but "not subject of transient
+    /// attacks past this stage" (§8.6), so not counted vulnerable.
+    pub boot_returns: u64,
+}
+
+/// Classifies every static indirect branch of `module` under `defenses`.
+pub fn audit(module: &Module, defenses: DefenseSet) -> SecurityAudit {
+    let mut a = SecurityAudit {
+        defenses,
+        ..SecurityAudit::default()
+    };
+    for f in module.functions() {
+        let boot = f.attrs().boot_only;
+        for block in f.blocks() {
+            for inst in &block.insts {
+                if let Inst::CallIndirect { asm, .. } = inst {
+                    if *asm || !defenses.hardens_forward() {
+                        a.vulnerable_icalls += 1;
+                    } else {
+                        a.protected_icalls += 1;
+                    }
+                }
+            }
+            match &block.term {
+                Terminator::Switch { via_table, .. } if *via_table => {
+                    // A surviving jump table is always a Spectre V2 surface.
+                    a.vulnerable_ijumps += 1;
+                }
+                Terminator::Return => {
+                    if boot {
+                        a.boot_returns += 1;
+                    } else if defenses.hardens_backward() {
+                        a.protected_returns += 1;
+                    } else {
+                        a.vulnerable_returns += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply;
+    use pibe_ir::{FnAttrs, FunctionBuilder};
+
+    fn image() -> Module {
+        let mut m = Module::new("m");
+        // A normal function with a hardenable icall and a jump table.
+        let s1 = m.fresh_site();
+        let mut b = FunctionBuilder::new("normal", 0);
+        let c = b.new_block();
+        let exit = b.new_block();
+        b.call_indirect(s1, 1);
+        b.switch(vec![1], vec![c], 1, exit, true);
+        b.switch_to(c);
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret();
+        m.add_function(b.build());
+
+        // A paravirt-style function whose icall is inline asm.
+        let s2 = m.fresh_site();
+        let mut b = FunctionBuilder::new("paravirt", 0);
+        b.call_indirect_asm(s2, 0);
+        b.ret();
+        m.add_function(b.build());
+
+        // Boot-only code.
+        let mut b = FunctionBuilder::new("start_kernel", 0);
+        b.attrs(FnAttrs {
+            boot_only: true,
+            ..FnAttrs::default()
+        });
+        b.ret();
+        m.add_function(b.build());
+        m
+    }
+
+    #[test]
+    fn unhardened_image_is_fully_vulnerable() {
+        let m = image();
+        let a = audit(&m, DefenseSet::NONE);
+        assert_eq!(a.protected_icalls, 0);
+        assert_eq!(a.vulnerable_icalls, 2);
+        assert_eq!(a.vulnerable_ijumps, 1);
+        assert_eq!(a.protected_returns, 0);
+        assert_eq!(a.vulnerable_returns, 2);
+        assert_eq!(a.boot_returns, 1);
+    }
+
+    #[test]
+    fn full_hardening_leaves_only_asm_sites_vulnerable() {
+        let mut m = image();
+        apply(&mut m, DefenseSet::ALL);
+        let a = audit(&m, DefenseSet::ALL);
+        assert_eq!(a.protected_icalls, 1);
+        assert_eq!(a.vulnerable_icalls, 1, "the asm icall stays vulnerable");
+        assert_eq!(a.vulnerable_ijumps, 0, "jump table was disabled");
+        assert_eq!(a.protected_returns, 2);
+        assert_eq!(a.vulnerable_returns, 0);
+        assert_eq!(a.boot_returns, 1);
+    }
+
+    #[test]
+    fn retpolines_only_protect_forward_edges() {
+        let mut m = image();
+        apply(&mut m, DefenseSet::RETPOLINES);
+        let a = audit(&m, DefenseSet::RETPOLINES);
+        assert_eq!(a.protected_icalls, 1);
+        assert_eq!(a.protected_returns, 0);
+        assert_eq!(a.vulnerable_returns, 2);
+    }
+
+    #[test]
+    fn ret_retpolines_only_protect_backward_edges() {
+        let mut m = image();
+        apply(&mut m, DefenseSet::RET_RETPOLINES);
+        let a = audit(&m, DefenseSet::RET_RETPOLINES);
+        assert_eq!(a.protected_icalls, 0);
+        assert_eq!(a.vulnerable_icalls, 2);
+        assert_eq!(a.protected_returns, 2);
+    }
+}

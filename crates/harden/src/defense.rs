@@ -1,0 +1,149 @@
+//! Defense selection.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A selection of transient control-flow-hijacking mitigations.
+///
+/// PIBE "enforces arbitrary combinations of defenses" (§4); the paper's
+/// evaluation uses the four configurations exposed as constants here
+/// (Tables 6 and 7): each defense alone, and all three together.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct DefenseSet {
+    /// Retpolines on indirect calls and jumps (Spectre V2 mitigation).
+    pub retpolines: bool,
+    /// Return retpolines on every return (Ret2spec mitigation).
+    pub ret_retpolines: bool,
+    /// LVI-CFI fences on indirect calls and returns (LVI mitigation).
+    pub lvi_cfi: bool,
+}
+
+impl DefenseSet {
+    /// No mitigations (the vanilla / LTO baseline).
+    pub const NONE: DefenseSet = DefenseSet {
+        retpolines: false,
+        ret_retpolines: false,
+        lvi_cfi: false,
+    };
+    /// Retpolines only — the Linux default Spectre V2 posture.
+    pub const RETPOLINES: DefenseSet = DefenseSet {
+        retpolines: true,
+        ret_retpolines: false,
+        lvi_cfi: false,
+    };
+    /// Return retpolines only.
+    pub const RET_RETPOLINES: DefenseSet = DefenseSet {
+        retpolines: false,
+        ret_retpolines: true,
+        lvi_cfi: false,
+    };
+    /// LVI-CFI only.
+    pub const LVI_CFI: DefenseSet = DefenseSet {
+        retpolines: false,
+        ret_retpolines: false,
+        lvi_cfi: true,
+    };
+    /// All three defenses — comprehensive protection against Spectre V2,
+    /// Ret2spec, and LVI ("all defenses" in Tables 1, 5, 6, 7).
+    pub const ALL: DefenseSet = DefenseSet {
+        retpolines: true,
+        ret_retpolines: true,
+        lvi_cfi: true,
+    };
+
+    /// True when no defense is enabled.
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+
+    /// True when any defense instruments forward edges (indirect calls).
+    pub fn hardens_forward(self) -> bool {
+        self.retpolines || self.lvi_cfi
+    }
+
+    /// True when any defense instruments backward edges (returns).
+    pub fn hardens_backward(self) -> bool {
+        self.ret_retpolines || self.lvi_cfi
+    }
+
+    /// True when jump-table lowering must be disabled — "the default LLVM
+    /// behavior when retpolines or LVI defenses are enabled" (§5.1).
+    pub fn disables_jump_tables(self) -> bool {
+        !self.is_none()
+    }
+
+    /// The paper's four evaluated configurations, for sweeps.
+    pub const EVALUATED: [DefenseSet; 4] = [
+        Self::RETPOLINES,
+        Self::RET_RETPOLINES,
+        Self::LVI_CFI,
+        Self::ALL,
+    ];
+}
+
+impl fmt::Display for DefenseSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return f.write_str("none");
+        }
+        if *self == Self::ALL {
+            return f.write_str("all-defenses");
+        }
+        let mut parts = Vec::new();
+        if self.retpolines {
+            parts.push("retpolines");
+        }
+        if self.ret_retpolines {
+            parts.push("ret-retpolines");
+        }
+        if self.lvi_cfi {
+            parts.push("lvi-cfi");
+        }
+        f.write_str(&parts.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        assert!(DefenseSet::NONE.is_none());
+        assert!(!DefenseSet::RETPOLINES.is_none());
+        assert!(DefenseSet::ALL.hardens_forward());
+        assert!(DefenseSet::ALL.hardens_backward());
+        assert!(DefenseSet::RETPOLINES.hardens_forward());
+        assert!(!DefenseSet::RETPOLINES.hardens_backward());
+        assert!(DefenseSet::RET_RETPOLINES.hardens_backward());
+        assert!(!DefenseSet::RET_RETPOLINES.hardens_forward());
+        assert!(DefenseSet::LVI_CFI.hardens_forward());
+        assert!(DefenseSet::LVI_CFI.hardens_backward());
+    }
+
+    #[test]
+    fn jump_tables_disabled_whenever_any_defense_is_on() {
+        assert!(!DefenseSet::NONE.disables_jump_tables());
+        for d in DefenseSet::EVALUATED {
+            assert!(d.disables_jump_tables());
+        }
+    }
+
+    #[test]
+    fn display_names_match_the_paper() {
+        assert_eq!(DefenseSet::NONE.to_string(), "none");
+        assert_eq!(DefenseSet::ALL.to_string(), "all-defenses");
+        assert_eq!(DefenseSet::RETPOLINES.to_string(), "retpolines");
+        assert_eq!(
+            DefenseSet {
+                retpolines: true,
+                lvi_cfi: true,
+                ret_retpolines: false
+            }
+            .to_string(),
+            "retpolines+lvi-cfi"
+        );
+    }
+}

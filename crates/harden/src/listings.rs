@@ -1,0 +1,150 @@
+//! The defense code sequences of the paper's Listings 4–7, as x86-64
+//! assembly text.
+//!
+//! The simulator charges each sequence's *cost* from [`crate::costs`]; this
+//! module preserves the sequences themselves — what a hardened binary
+//! actually contains — for documentation, reports, and the size model's
+//! sanity tests (the byte estimates in `costs` should roughly match the
+//! encoded lengths of these listings).
+
+use crate::DefenseSet;
+
+/// Listing 4: the standard retpoline thunk replacing `call *%r11`.
+pub const RETPOLINE: &str = "\
+call __llvm_retpoline_r11
+__llvm_retpoline_r11:
+  callq jump
+loop:
+  pause
+  lfence
+  jmp loop
+  nopl 0x0(%rax)
+jump:
+  mov %r11, (%rsp)
+  retq";
+
+/// Listing 5: LVI-CFI forward-edge instrumentation.
+pub const LVI_FORWARD: &str = "\
+call __x86_indirect_thunk_r11
+__x86_indirect_thunk_r11:
+  lfence
+  jmpq *%r11";
+
+/// Listing 6: LVI-CFI backward-edge instrumentation (replaces `ret`).
+pub const LVI_BACKWARD: &str = "\
+pop %rcx
+lfence
+jmpq *%rcx";
+
+/// Listing 7: the paper's contribution for combined deployments — the
+/// LVI-protected (fenced) retpoline, using Van Bulck et al.'s
+/// return-based target dispatch so the thunk itself is not an LVI gadget.
+pub const FENCED_RETPOLINE: &str = "\
+call __llvm_retpoline_r11
+__llvm_retpoline_r11:
+  callq jump
+loop:
+  pause
+  lfence
+  jmp loop
+  nopl 0x0(%rax)
+jump:
+  mov %r11, (%rsp)
+  notq (%rsp)
+  notq (%rsp)
+  lfence
+  retq";
+
+/// The inlined return-retpoline sequence replacing each `ret` (§6.1: like
+/// Listing 4 "except that there is no need to leave a return address on
+/// the stack, and therefore we also do not need the additional call at the
+/// start").
+pub const RETURN_RETPOLINE: &str = "\
+callq jump
+loop:
+  pause
+  lfence
+  jmp loop
+jump:
+  lea 8(%rsp), %rsp
+  retq";
+
+/// The forward-edge sequence a branch is rewritten to under `d`, if any.
+pub fn forward_listing(d: DefenseSet) -> Option<&'static str> {
+    match (d.retpolines, d.lvi_cfi) {
+        (false, false) => None,
+        (true, false) => Some(RETPOLINE),
+        (false, true) => Some(LVI_FORWARD),
+        (true, true) => Some(FENCED_RETPOLINE),
+    }
+}
+
+/// The backward-edge sequence a `ret` is rewritten to under `d`, if any.
+pub fn backward_listing(d: DefenseSet) -> Option<&'static str> {
+    match (d.ret_retpolines, d.lvi_cfi) {
+        (false, false) => None,
+        (true, false) => Some(RETURN_RETPOLINE),
+        (false, true) => Some(LVI_BACKWARD),
+        // The combined backward sequence is the return retpoline with the
+        // not/not + lfence target protection of Listing 7 folded in.
+        (true, true) => Some(FENCED_RETPOLINE),
+    }
+}
+
+/// Rough encoded length in bytes of an assembly listing (4 bytes per
+/// instruction line on average — the same approximation LLVM's cost model
+/// uses, §5.2).
+pub fn approx_bytes(listing: &str) -> u32 {
+    listing
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.ends_with(':')
+        })
+        .count() as u32
+        * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs;
+
+    #[test]
+    fn every_hardening_combination_has_its_listing() {
+        assert!(forward_listing(DefenseSet::NONE).is_none());
+        assert_eq!(forward_listing(DefenseSet::RETPOLINES), Some(RETPOLINE));
+        assert_eq!(forward_listing(DefenseSet::LVI_CFI), Some(LVI_FORWARD));
+        assert_eq!(forward_listing(DefenseSet::ALL), Some(FENCED_RETPOLINE));
+        assert!(backward_listing(DefenseSet::RETPOLINES).is_none());
+        assert_eq!(
+            backward_listing(DefenseSet::RET_RETPOLINES),
+            Some(RETURN_RETPOLINE)
+        );
+        assert_eq!(backward_listing(DefenseSet::LVI_CFI), Some(LVI_BACKWARD));
+    }
+
+    #[test]
+    fn fenced_retpoline_contains_the_lvi_hardening() {
+        // Listing 7 = Listing 4 + not/not + lfence before the dispatch ret.
+        assert!(FENCED_RETPOLINE.contains("notq (%rsp)"));
+        assert!(FENCED_RETPOLINE.matches("lfence").count() >= 2);
+        assert!(RETPOLINE.contains("mov %r11, (%rsp)"));
+        assert!(!RETPOLINE.contains("notq"));
+    }
+
+    #[test]
+    fn size_model_is_consistent_with_the_listings() {
+        // Return retpolines are inlined per site: the per-site byte delta
+        // of the cost model should be within 2x of the encoded sequence.
+        let seq = approx_bytes(RETURN_RETPOLINE) as i64;
+        let model = costs::return_site_bytes(DefenseSet::RET_RETPOLINES) as i64;
+        assert!(
+            (seq - model).abs() <= seq,
+            "listing ~{seq}B vs model {model}B"
+        );
+        // LVI's backward sequence is tiny; so is its modelled delta.
+        assert!(approx_bytes(LVI_BACKWARD) <= 16);
+        assert!(costs::return_site_bytes(DefenseSet::LVI_CFI) <= 16);
+    }
+}

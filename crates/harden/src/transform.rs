@@ -1,0 +1,114 @@
+//! IR-level side effects of enabling defenses.
+
+use crate::DefenseSet;
+use pibe_ir::{Module, Terminator};
+use serde::{Deserialize, Serialize};
+
+/// What [`apply`] changed in the module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardenReport {
+    /// The defenses the image was hardened with.
+    pub defenses: DefenseSet,
+    /// Jump-table switches re-lowered to compare chains.
+    pub jump_tables_disabled: u64,
+    /// Jump-table switches that could *not* be re-lowered because they live
+    /// in (modelled) inline assembly — the residual vulnerable indirect
+    /// jumps of Table 11 (5 in the paper's kernel).
+    pub jump_tables_kept: u64,
+}
+
+/// Applies the compile-time side effects of hardening `module` with
+/// `defenses`.
+///
+/// Today this is jump-table disabling: "To protect against jump table
+/// hijacking under transient execution, PIBE disables jump table generation
+/// in the compiler — the default LLVM behavior when retpolines or LVI
+/// defenses are enabled" (§5.1). Switches inside functions marked
+/// `inline_asm` are outside the compiler's reach and keep their tables
+/// (they become the audit's vulnerable indirect jumps).
+///
+/// The *costs* of hardened branches are charged dynamically by the
+/// simulator from [`crate::costs`]; there is no need to rewrite every call
+/// and return site in the IR.
+pub fn apply(module: &mut Module, defenses: DefenseSet) -> HardenReport {
+    let mut report = HardenReport {
+        defenses,
+        ..HardenReport::default()
+    };
+    if !defenses.disables_jump_tables() {
+        return report;
+    }
+    for id in module.func_ids().collect::<Vec<_>>() {
+        let untouchable = module.function(id).attrs().inline_asm;
+        for block in module.function_mut(id).blocks_mut() {
+            if let Terminator::Switch { via_table, .. } = &mut block.term {
+                if *via_table {
+                    if untouchable {
+                        report.jump_tables_kept += 1;
+                    } else {
+                        *via_table = false;
+                        report.jump_tables_disabled += 1;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_ir::{FnAttrs, FunctionBuilder, OpKind};
+
+    fn module_with_switches() -> Module {
+        let mut m = Module::new("m");
+        for (name, asm) in [("normal", false), ("paravirt", true)] {
+            let mut b = FunctionBuilder::new(name, 0);
+            b.attrs(FnAttrs {
+                inline_asm: asm,
+                ..FnAttrs::default()
+            });
+            let c0 = b.new_block();
+            let c1 = b.new_block();
+            let exit = b.new_block();
+            b.op(OpKind::Cmp);
+            b.switch(vec![1, 1], vec![c0, c1], 1, exit, true);
+            b.switch_to(c0);
+            b.jump(exit);
+            b.switch_to(c1);
+            b.jump(exit);
+            b.switch_to(exit);
+            b.ret();
+            m.add_function(b.build());
+        }
+        m
+    }
+
+    #[test]
+    fn no_defenses_keeps_jump_tables() {
+        let mut m = module_with_switches();
+        let r = apply(&mut m, DefenseSet::NONE);
+        assert_eq!(r.jump_tables_disabled, 0);
+        assert_eq!(m.census().indirect_jumps, 2);
+    }
+
+    #[test]
+    fn defenses_disable_jump_tables_outside_inline_asm() {
+        let mut m = module_with_switches();
+        let r = apply(&mut m, DefenseSet::RETPOLINES);
+        assert_eq!(r.jump_tables_disabled, 1);
+        assert_eq!(r.jump_tables_kept, 1);
+        assert_eq!(m.census().indirect_jumps, 1);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let mut m = module_with_switches();
+        apply(&mut m, DefenseSet::ALL);
+        let again = apply(&mut m, DefenseSet::ALL);
+        assert_eq!(again.jump_tables_disabled, 0);
+        assert_eq!(again.jump_tables_kept, 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Ergonomic construction of functions.
+
+use crate::func::{Block, FnAttrs, Function};
+use crate::ids::{BlockId, FuncId, SiteId};
+use crate::inst::{Cond, Inst, OpKind, Terminator};
+
+/// Incrementally builds a [`Function`] block by block.
+///
+/// The builder maintains a *current block*; instruction-emitting methods
+/// append to it and terminator-emitting methods close it. Blocks may be
+/// created ahead of time with [`FunctionBuilder::new_block`] and switched to
+/// with [`FunctionBuilder::switch_to`], enabling forward branches.
+///
+/// # Example
+///
+/// ```
+/// use pibe_ir::{FunctionBuilder, OpKind, Cond};
+///
+/// let mut b = FunctionBuilder::new("f", 1);
+/// let exit = b.new_block();
+/// b.op(OpKind::Cmp);
+/// b.branch(Cond::Random { ptaken_milli: 100 }, exit, exit);
+/// b.switch_to(exit);
+/// b.ret();
+/// let f = b.build();
+/// assert_eq!(f.blocks().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    args: u8,
+    attrs: FnAttrs,
+    frame_bytes: u32,
+    blocks: Vec<Option<Block>>,
+    current: BlockId,
+    pending: Vec<Inst>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given name and argument count.
+    /// The entry block is created and selected.
+    pub fn new(name: impl Into<String>, args: u8) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            args,
+            attrs: FnAttrs::default(),
+            frame_bytes: 64,
+            blocks: vec![None],
+            current: BlockId::ENTRY,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Sets the function attributes.
+    pub fn attrs(&mut self, attrs: FnAttrs) -> &mut Self {
+        self.attrs = attrs;
+        self
+    }
+
+    /// Sets the stack frame size in bytes (default 64).
+    pub fn frame_bytes(&mut self, bytes: u32) -> &mut Self {
+        self.frame_bytes = bytes;
+        self
+    }
+
+    /// Creates a new, empty block and returns its id without selecting it.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId::from_raw(self.blocks.len() as u32);
+        self.blocks.push(None);
+        id
+    }
+
+    /// Selects `block` as the current insertion point.
+    ///
+    /// # Panics
+    /// Panics if the previously current block was left unterminated with
+    /// pending instructions, or if `block` is already terminated.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            self.pending.is_empty(),
+            "block {} left unterminated",
+            self.current
+        );
+        assert!(
+            self.blocks[block.index()].is_none(),
+            "block {block} is already terminated"
+        );
+        self.current = block;
+    }
+
+    /// Appends a non-branch op of the given kind.
+    pub fn op(&mut self, kind: OpKind) -> &mut Self {
+        self.pending.push(Inst::Op(kind));
+        self
+    }
+
+    /// Appends `n` ops of the given kind.
+    pub fn ops(&mut self, kind: OpKind, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.pending.push(Inst::Op(kind));
+        }
+        self
+    }
+
+    /// Appends a direct call.
+    pub fn call(&mut self, site: SiteId, callee: FuncId, args: u8) -> &mut Self {
+        self.pending.push(Inst::Call { site, callee, args });
+        self
+    }
+
+    /// Appends an (unresolved) indirect call.
+    pub fn call_indirect(&mut self, site: SiteId, args: u8) -> &mut Self {
+        self.pending.push(Inst::CallIndirect {
+            site,
+            args,
+            resolved: false,
+            asm: false,
+        });
+        self
+    }
+
+    /// Appends an indirect call implemented in an inline-assembly macro
+    /// (a paravirt hypercall analogue): unhardenable by the compiler.
+    pub fn call_indirect_asm(&mut self, site: SiteId, args: u8) -> &mut Self {
+        self.pending.push(Inst::CallIndirect {
+            site,
+            args,
+            resolved: false,
+            asm: true,
+        });
+        self
+    }
+
+    /// Appends a `ResolveTarget` for `site`.
+    pub fn resolve_target(&mut self, site: SiteId) -> &mut Self {
+        self.pending.push(Inst::ResolveTarget { site });
+        self
+    }
+
+    /// Appends an arbitrary instruction.
+    pub fn inst(&mut self, inst: Inst) -> &mut Self {
+        self.pending.push(inst);
+        self
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump { target });
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Cond, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Terminates the current block with a switch.
+    pub fn switch(
+        &mut self,
+        weights: Vec<u16>,
+        cases: Vec<BlockId>,
+        default_weight: u16,
+        default: BlockId,
+        via_table: bool,
+    ) {
+        assert_eq!(weights.len(), cases.len(), "weights must parallel cases");
+        self.terminate(Terminator::Switch {
+            weights,
+            cases,
+            default_weight,
+            default,
+            via_table,
+        });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self) {
+        self.terminate(Terminator::Return);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let insts = std::mem::take(&mut self.pending);
+        let slot = &mut self.blocks[self.current.index()];
+        assert!(slot.is_none(), "block {} terminated twice", self.current);
+        *slot = Some(Block::new(insts, term));
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    /// Panics if any created block was never terminated.
+    pub fn build(self) -> Function {
+        assert!(
+            self.pending.is_empty(),
+            "current block left unterminated in {}",
+            self.name
+        );
+        let blocks: Vec<Block> = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| b.unwrap_or_else(|| panic!("block bb{i} never terminated")))
+            .collect();
+        Function::new(self.name, self.args, blocks, self.attrs, self.frame_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_function() {
+        let mut b = FunctionBuilder::new("f", 2);
+        b.ops(OpKind::Alu, 3);
+        b.ret();
+        let f = b.build();
+        assert_eq!(f.blocks().len(), 1);
+        assert_eq!(f.inst_count(), 3);
+        assert_eq!(f.arg_count(), 2);
+        assert_eq!(f.return_sites(), 1);
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        let merge = b.new_block();
+        b.op(OpKind::Cmp);
+        b.branch(Cond::Random { ptaken_milli: 700 }, then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.op(OpKind::Alu);
+        b.jump(merge);
+        b.switch_to(else_bb);
+        b.op(OpKind::Load);
+        b.jump(merge);
+        b.switch_to(merge);
+        b.ret();
+        let f = b.build();
+        assert_eq!(f.blocks().len(), 4);
+        let succ: Vec<_> = f.block(BlockId::ENTRY).term.successors().collect();
+        assert_eq!(succ, vec![then_bb, else_bb]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn unterminated_block_panics() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let _orphan = b.new_block();
+        b.ret();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminate_panics() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ret();
+        b.ret();
+    }
+}

@@ -1,0 +1,274 @@
+//! Static call graph construction and recursion analysis.
+
+use crate::ids::{FuncId, SiteId};
+use crate::inst::Inst;
+use crate::Module;
+use std::collections::HashSet;
+
+/// One static direct-call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallGraphEdge {
+    /// The calling function.
+    pub caller: FuncId,
+    /// The called function.
+    pub callee: FuncId,
+    /// The call site (stable profile identity).
+    pub site: SiteId,
+}
+
+/// The static direct call graph of a module.
+///
+/// Indirect edges are not part of the static graph; they become visible only
+/// through value profiles (`pibe-profile`), exactly as in the paper's
+/// pipeline. The graph answers the two questions PIBE's passes ask:
+/// *is this function (mutually) recursive?* (recursive callees are never
+/// inlined) and *what is a bottom-up traversal order?* (used by the default
+/// LLVM-style inliner baseline).
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    edges: Vec<CallGraphEdge>,
+    callees: Vec<Vec<FuncId>>,
+    recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `module`.
+    pub fn build(module: &Module) -> Self {
+        let n = module.len();
+        let mut edges = Vec::new();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for f in module.functions() {
+            for block in f.blocks() {
+                for inst in &block.insts {
+                    if let Inst::Call { site, callee, .. } = inst {
+                        edges.push(CallGraphEdge {
+                            caller: f.id(),
+                            callee: *callee,
+                            site: *site,
+                        });
+                        callees[f.id().index()].push(*callee);
+                    }
+                }
+            }
+        }
+        let recursive = find_recursive(n, &callees);
+        CallGraph {
+            edges,
+            callees,
+            recursive,
+        }
+    }
+
+    /// All static direct-call edges.
+    pub fn edges(&self) -> &[CallGraphEdge] {
+        &self.edges
+    }
+
+    /// Direct callees of `f` (with multiplicity).
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// True if `f` participates in a call cycle (directly or mutually
+    /// recursive). Such functions are never inlining candidates (§5.2).
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        self.recursive[f.index()]
+    }
+
+    /// Bottom-up (reverse-topological, callees-before-callers) traversal
+    /// order over all functions; members of cycles appear in discovery order.
+    pub fn bottom_up_order(&self) -> Vec<FuncId> {
+        let n = self.callees.len();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut order = Vec::with_capacity(n);
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            // Iterative DFS with explicit post-visit.
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            state[start] = 1;
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let outs = &self.callees[node];
+                if *idx < outs.len() {
+                    let next = outs[*idx].index();
+                    *idx += 1;
+                    if state[next] == 0 {
+                        state[next] = 1;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    state[node] = 2;
+                    order.push(FuncId::from_raw(node as u32));
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Marks every function that belongs to a nontrivial SCC or has a self loop,
+/// using Tarjan's algorithm (iterative).
+fn find_recursive(n: usize, callees: &[Vec<FuncId>]) -> Vec<bool> {
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut recursive = vec![false; n];
+    let mut counter = 0usize;
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // Iterative Tarjan.
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (node, ref mut child_idx)) = work.last_mut() {
+            let outs = &callees[node];
+            if *child_idx < outs.len() {
+                let next = outs[*child_idx].index();
+                *child_idx += 1;
+                if index[next] == usize::MAX {
+                    index[next] = counter;
+                    low[next] = counter;
+                    counter += 1;
+                    stack.push(next);
+                    on_stack[next] = true;
+                    work.push((next, 0));
+                } else if on_stack[next] {
+                    low[node] = low[node].min(index[next]);
+                }
+            } else {
+                if low[node] == index[node] {
+                    // Pop the SCC rooted at `node`.
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        members.push(w);
+                        if w == node {
+                            break;
+                        }
+                    }
+                    if members.len() > 1 {
+                        for &m in &members {
+                            recursive[m] = true;
+                        }
+                    } else {
+                        // Self-loop?
+                        let m = members[0];
+                        if callees[m].iter().any(|c| c.index() == m) {
+                            recursive[m] = true;
+                        }
+                    }
+                }
+                work.pop();
+                if let Some(&mut (parent, _)) = work.last_mut() {
+                    low[parent] = low[parent].min(low[node]);
+                }
+            }
+        }
+    }
+    recursive
+}
+
+impl CallGraph {
+    /// The set of functions reachable from `roots` along direct-call edges.
+    pub fn reachable_from(&self, roots: &[FuncId]) -> HashSet<FuncId> {
+        let mut seen: HashSet<FuncId> = roots.iter().copied().collect();
+        let mut work: Vec<FuncId> = roots.to_vec();
+        while let Some(f) = work.pop() {
+            for &c in self.callees(f) {
+                if seen.insert(c) {
+                    work.push(c);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::OpKind;
+
+    /// Builds: main -> a -> b, a -> c, b <-> c (mutual recursion), d -> d.
+    fn cyclic_module() -> (Module, Vec<FuncId>) {
+        let mut m = Module::new("m");
+        // Create placeholders first so we can forward-reference ids.
+        let ids: Vec<FuncId> = (0..5)
+            .map(|i| {
+                let mut b = FunctionBuilder::new(format!("tmp{i}"), 0);
+                b.ret();
+                m.add_function(b.build())
+            })
+            .collect();
+        let (main, a, bb, c, d) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+
+        let rebuild = |m: &mut Module, id: FuncId, name: &str, calls: Vec<FuncId>| {
+            let mut b = FunctionBuilder::new(name, 0);
+            b.op(OpKind::Alu);
+            for (i, callee) in calls.iter().enumerate() {
+                b.call(SiteId::from_raw(id.index() as u64 * 10 + i as u64), *callee, 0);
+            }
+            b.ret();
+            let mut f = b.build();
+            f.id = id;
+            *m.function_mut(id) = f;
+        };
+        rebuild(&mut m, main, "main", vec![a]);
+        rebuild(&mut m, a, "a", vec![bb, c]);
+        rebuild(&mut m, bb, "b", vec![c]);
+        rebuild(&mut m, c, "c", vec![bb]);
+        rebuild(&mut m, d, "d", vec![d]);
+        (m, ids)
+    }
+
+    #[test]
+    fn recursion_detection_finds_cycles_and_self_loops() {
+        let (m, ids) = cyclic_module();
+        let g = CallGraph::build(&m);
+        assert!(!g.is_recursive(ids[0]), "main is acyclic");
+        assert!(!g.is_recursive(ids[1]), "a is acyclic");
+        assert!(g.is_recursive(ids[2]), "b is in a cycle");
+        assert!(g.is_recursive(ids[3]), "c is in a cycle");
+        assert!(g.is_recursive(ids[4]), "d self-recurses");
+    }
+
+    #[test]
+    fn bottom_up_order_places_callees_first_outside_cycles() {
+        let (m, ids) = cyclic_module();
+        let g = CallGraph::build(&m);
+        let order = g.bottom_up_order();
+        assert_eq!(order.len(), m.len());
+        let pos = |f: FuncId| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(ids[1]) < pos(ids[0]), "a before main");
+        assert!(pos(ids[2]) < pos(ids[1]), "b before a");
+    }
+
+    #[test]
+    fn reachability_from_roots() {
+        let (m, ids) = cyclic_module();
+        let g = CallGraph::build(&m);
+        let r = g.reachable_from(&[ids[0]]);
+        assert!(r.contains(&ids[3]));
+        assert!(!r.contains(&ids[4]), "d unreachable from main");
+    }
+
+    #[test]
+    fn edges_record_sites() {
+        let (m, _) = cyclic_module();
+        let g = CallGraph::build(&m);
+        assert_eq!(g.edges().len(), 6);
+        assert!(g.edges().iter().all(|e| e.caller != FuncId::from_raw(99)));
+    }
+}

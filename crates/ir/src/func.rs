@@ -1,0 +1,205 @@
+//! Functions and basic blocks.
+
+use crate::ids::{BlockId, FuncId, SiteId};
+use crate::inst::{Inst, Terminator};
+use serde::{Deserialize, Serialize};
+
+/// A basic block: straight-line instructions ended by one terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The block's non-terminator instructions, in execution order.
+    pub insts: Vec<Inst>,
+    /// The block's terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates a block with the given instructions and terminator.
+    pub fn new(insts: Vec<Inst>, term: Terminator) -> Self {
+        Block { insts, term }
+    }
+
+    /// Iterates over the call sites appearing in this block.
+    pub fn call_sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.insts.iter().filter_map(Inst::call_site)
+    }
+}
+
+/// Function attributes constraining what the optimizer may do.
+///
+/// These model the attribute set the paper's Table 9 groups under "other"
+/// inlining inhibitors: `optnone` callers, `noinline` callees, and the
+/// paravirtualised inline-assembly call sites (§8.6) that LLVM's retpoline
+/// pass cannot instrument.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FnAttrs {
+    /// Never inline this function into callers.
+    pub noinline: bool,
+    /// Never optimize call sites *inside* this function.
+    pub optnone: bool,
+    /// The function body is (modelled) inline assembly, e.g. a kernel
+    /// paravirt hypercall macro. Its indirect calls cannot be hardened by
+    /// the compiler and stay vulnerable even under full mitigation
+    /// (the 41 "Vuln. ICalls" of Table 11).
+    pub inline_asm: bool,
+    /// Executes only during system boot; its branches are not reachable by
+    /// transient attacks after boot (§8.6) and are excluded from the audit's
+    /// vulnerable counts.
+    pub boot_only: bool,
+}
+
+/// A function: an argument count, a CFG of blocks, attributes, and a stack
+/// frame size used by the simulator's stack accounting (the resource Rule 2
+/// of the inliner protects).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    pub(crate) name: String,
+    pub(crate) id: FuncId,
+    pub(crate) args: u8,
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) attrs: FnAttrs,
+    pub(crate) frame_bytes: u32,
+}
+
+impl Function {
+    /// Creates a function. `id` is assigned when added to a module; use
+    /// [`FunctionBuilder`](crate::FunctionBuilder) rather than calling this
+    /// directly.
+    pub(crate) fn new(
+        name: String,
+        args: u8,
+        blocks: Vec<Block>,
+        attrs: FnAttrs,
+        frame_bytes: u32,
+    ) -> Self {
+        Function {
+            name,
+            id: FuncId::from_raw(u32::MAX),
+            args,
+            blocks,
+            attrs,
+            frame_bytes,
+        }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The function's id within its module.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// Number of formal arguments.
+    pub fn arg_count(&self) -> u8 {
+        self.args
+    }
+
+    /// The function's attributes.
+    pub fn attrs(&self) -> FnAttrs {
+        self.attrs
+    }
+
+    /// Mutable access to the attributes.
+    pub fn attrs_mut(&mut self) -> &mut FnAttrs {
+        &mut self.attrs
+    }
+
+    /// Stack frame size in bytes.
+    pub fn frame_bytes(&self) -> u32 {
+        self.frame_bytes
+    }
+
+    /// Sets the stack frame size (inlining grows the caller's frame).
+    pub fn set_frame_bytes(&mut self, bytes: u32) {
+        self.frame_bytes = bytes;
+    }
+
+    /// The function's basic blocks; index 0 is the entry block.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Mutable access to the blocks (transform passes only — keep the CFG
+    /// consistent and re-verify the module afterwards).
+    pub fn blocks_mut(&mut self) -> &mut Vec<Block> {
+        &mut self.blocks
+    }
+
+    /// Returns the block with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from_raw(i as u32), b))
+    }
+
+    /// Number of static return sites (blocks terminated by `Return`).
+    pub fn return_sites(&self) -> usize {
+        self.blocks.iter().filter(|b| b.term.is_return()).count()
+    }
+
+    /// Iterates over every instruction in the function.
+    pub fn iter_insts(&self) -> impl Iterator<Item = &Inst> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+
+    /// Total instruction count (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::OpKind;
+
+    fn two_block_function() -> Function {
+        let b0 = Block::new(
+            vec![Inst::Op(OpKind::Alu)],
+            Terminator::Jump {
+                target: BlockId::from_raw(1),
+            },
+        );
+        let b1 = Block::new(
+            vec![Inst::Call {
+                site: SiteId::from_raw(1),
+                callee: FuncId::from_raw(0),
+                args: 0,
+            }],
+            Terminator::Return,
+        );
+        Function::new("f".into(), 0, vec![b0, b1], FnAttrs::default(), 64)
+    }
+
+    #[test]
+    fn block_call_sites_are_listed() {
+        let f = two_block_function();
+        let sites: Vec<_> = f.block(BlockId::from_raw(1)).call_sites().collect();
+        assert_eq!(sites, vec![SiteId::from_raw(1)]);
+    }
+
+    #[test]
+    fn return_site_count() {
+        let f = two_block_function();
+        assert_eq!(f.return_sites(), 1);
+        assert_eq!(f.inst_count(), 2);
+    }
+
+    #[test]
+    fn attrs_default_to_all_false() {
+        let a = FnAttrs::default();
+        assert!(!a.noinline && !a.optnone && !a.inline_asm && !a.boot_only);
+    }
+}

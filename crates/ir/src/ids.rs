@@ -1,0 +1,121 @@
+//! Typed identifiers for IR entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a function within a [`Module`](crate::Module).
+///
+/// Function ids are dense indices assigned in insertion order, which doubles
+/// as the function's position in the module's linear code layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Creates a function id from a raw index.
+    pub fn from_raw(raw: u32) -> Self {
+        FuncId(raw)
+    }
+
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@f{}", self.0)
+    }
+}
+
+/// Identifies a basic block within a [`Function`](crate::Function).
+///
+/// Block ids are local to their function; the entry block is always id 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// The entry block of every function.
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// Creates a block id from a raw index.
+    pub fn from_raw(raw: u32) -> Self {
+        BlockId(raw)
+    }
+
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Stable identity of a call site.
+///
+/// A `SiteId` names the *original* call site as it existed when the program
+/// was profiled. Transformations that duplicate code (inlining) clone
+/// instructions *including* their `SiteId`, so a profile keyed by site keeps
+/// applying to every copy — this is the IR-level analogue of the paper's
+/// profile lifting (§7), which maps binary-level edge counts back to IR call
+/// sites across code duplication.
+///
+/// Transformations that *create* call sites (indirect call promotion) draw a
+/// fresh id from [`Module::fresh_site`](crate::Module::fresh_site) and record
+/// an estimated weight for it in the lifted profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(u64);
+
+impl SiteId {
+    /// Creates a site id from a raw value.
+    pub fn from_raw(raw: u64) -> Self {
+        SiteId(raw)
+    }
+
+    /// Returns the raw value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn func_id_roundtrip() {
+        let id = FuncId::from_raw(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "@f42");
+    }
+
+    #[test]
+    fn block_entry_is_zero() {
+        assert_eq!(BlockId::ENTRY.index(), 0);
+        assert_eq!(BlockId::from_raw(7).to_string(), "bb7");
+    }
+
+    #[test]
+    fn site_id_ordering_follows_raw() {
+        assert!(SiteId::from_raw(1) < SiteId::from_raw(2));
+        assert_eq!(SiteId::from_raw(9).raw(), 9);
+    }
+
+    #[test]
+    fn ids_serialize_as_plain_numbers() {
+        let json = serde_json::to_string(&FuncId::from_raw(3)).unwrap();
+        assert_eq!(json, "3");
+        let back: FuncId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, FuncId::from_raw(3));
+    }
+}

@@ -1,0 +1,296 @@
+//! Instructions, terminators, and branch classification.
+
+use crate::ids::{BlockId, FuncId, SiteId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cost class of a non-branch instruction.
+///
+/// PIBE's algorithms never inspect operand values, only instruction *shape*
+/// (is it a branch? how expensive is it? how large is it?), so non-branch
+/// instructions collapse to a handful of cost classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Register-to-register arithmetic or logic (1 cycle).
+    Alu,
+    /// Register move / constant materialisation (1 cycle).
+    Mov,
+    /// Compare, usually feeding a conditional branch (1 cycle).
+    Cmp,
+    /// Memory load (L1-hit latency).
+    Load,
+    /// Memory store (1 cycle, store buffer absorbs latency).
+    Store,
+    /// Serialising fence such as `lfence` (models hand-written fences in the
+    /// source program; hardening-inserted fences are accounted separately by
+    /// the defense cost model).
+    Fence,
+}
+
+impl OpKind {
+    /// All op kinds, for exhaustive sweeps in tests and generators.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::Alu,
+        OpKind::Mov,
+        OpKind::Cmp,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Fence,
+    ];
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Inst {
+    /// A non-branch instruction of the given cost class.
+    Op(OpKind),
+    /// A direct call to `callee` passing `args` arguments.
+    Call {
+        /// Stable profile identity of this call site.
+        site: SiteId,
+        /// The called function.
+        callee: FuncId,
+        /// Number of arguments (drives LLVM-style call cost `5 + 5·args`).
+        args: u8,
+    },
+    /// An indirect call through a function pointer.
+    ///
+    /// The runtime target comes from the workload's target oracle for
+    /// `site`. When `resolved` is true the target has already been sampled
+    /// by a preceding [`Inst::ResolveTarget`] in the same frame (the shape
+    /// indirect call promotion produces for its fallback call).
+    CallIndirect {
+        /// Stable profile identity of this call site.
+        site: SiteId,
+        /// Number of arguments.
+        args: u8,
+        /// Whether a `ResolveTarget` already pinned the runtime target.
+        resolved: bool,
+        /// The call is implemented inside an inline-assembly macro (the
+        /// kernel's paravirt hypercalls, §8.6): the compiler cannot convert
+        /// it to a retpoline thunk, so it stays *vulnerable* under every
+        /// defense, and inlining duplicates it (Table 11's "Vuln. ICalls"
+        /// growing from 41 to 170 with the optimization budget).
+        asm: bool,
+    },
+    /// Samples the runtime target of indirect-call `site` and pins it for the
+    /// current frame, to be consumed by [`Cond::TargetIs`] guards and the
+    /// final `CallIndirect { resolved: true }` fallback.
+    ///
+    /// This models the target register load (`mov %target, %r11`) that
+    /// precedes a promoted indirect call sequence; it costs one move.
+    ResolveTarget {
+        /// The indirect call site being resolved.
+        site: SiteId,
+    },
+}
+
+impl Inst {
+    /// Returns the call site id if this instruction is a call of any kind.
+    pub fn call_site(&self) -> Option<SiteId> {
+        match self {
+            Inst::Call { site, .. } | Inst::CallIndirect { site, .. } => Some(*site),
+            _ => None,
+        }
+    }
+
+    /// Returns true for `Call` and `CallIndirect`.
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Call { .. } | Inst::CallIndirect { .. })
+    }
+}
+
+/// Condition driving a two-way branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Data-dependent condition modelled as a taken probability in
+    /// per-mille (0..=1000). Sampled from the workload's seeded RNG.
+    Random {
+        /// Probability of taking the `then` edge, in 1/1000 units.
+        ptaken_milli: u16,
+    },
+    /// Guard of a promoted indirect call: taken iff the pinned runtime target
+    /// of `site` equals `target`. Costs a compare plus a predictable branch
+    /// (~2 cycles), matching the paper's §5.3 estimate.
+    TargetIs {
+        /// The promoted indirect call site.
+        site: SiteId,
+        /// The candidate target being tested.
+        target: FuncId,
+    },
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Jump {
+        /// Successor block.
+        target: BlockId,
+    },
+    /// Two-way conditional branch.
+    Branch {
+        /// Condition selecting between the successors.
+        cond: Cond,
+        /// Successor when the condition holds.
+        then_bb: BlockId,
+        /// Successor when the condition does not hold.
+        else_bb: BlockId,
+    },
+    /// Multiway branch (a C `switch`).
+    ///
+    /// When `via_table` is true the compiler lowered it as a bounds-checked
+    /// *indirect jump* through a jump table — fast, but a Spectre-V2 surface
+    /// under transient execution. When false it is lowered as a compare
+    /// chain: immune, but costing ~1 cycle per case tested.
+    Switch {
+        /// Per-case selection weights (parallel to `cases`); sampled
+        /// against `default_weight` by the executor.
+        weights: Vec<u16>,
+        /// Case successor blocks.
+        cases: Vec<BlockId>,
+        /// Weight of falling through to `default`.
+        default_weight: u16,
+        /// Default successor block.
+        default: BlockId,
+        /// Whether this switch is lowered through an indirect jump table.
+        via_table: bool,
+    },
+    /// Function return (the backward edge PIBE's inliner eliminates).
+    Return,
+}
+
+impl Terminator {
+    /// Iterates over all successor blocks.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let slice: Vec<BlockId> = match self {
+            Terminator::Jump { target } => vec![*target],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Switch { cases, default, .. } => {
+                let mut v = cases.clone();
+                v.push(*default);
+                v
+            }
+            Terminator::Return => vec![],
+        };
+        slice.into_iter()
+    }
+
+    /// Rewrites every successor id through `f` (used when splicing CFGs).
+    pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump { target } => *target = f(*target),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                *then_bb = f(*then_bb);
+                *else_bb = f(*else_bb);
+            }
+            Terminator::Switch { cases, default, .. } => {
+                for c in cases.iter_mut() {
+                    *c = f(*c);
+                }
+                *default = f(*default);
+            }
+            Terminator::Return => {}
+        }
+    }
+
+    /// Returns true for `Return`.
+    pub fn is_return(&self) -> bool {
+        matches!(self, Terminator::Return)
+    }
+}
+
+/// The three flavours of indirect branch PIBE defends (§5.1), plus direct
+/// calls for cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Direct call with a fixed target.
+    DirectCall,
+    /// Indirect call through a function pointer.
+    IndirectCall,
+    /// Indirect jump (jump-table lowered switch).
+    IndirectJump,
+    /// Function return.
+    Return,
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::DirectCall => "dcall",
+            BranchKind::IndirectCall => "icall",
+            BranchKind::IndirectJump => "ijump",
+            BranchKind::Return => "ret",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_site_extraction() {
+        let s = SiteId::from_raw(5);
+        let call = Inst::Call {
+            site: s,
+            callee: FuncId::from_raw(1),
+            args: 2,
+        };
+        assert_eq!(call.call_site(), Some(s));
+        assert!(call.is_call());
+        assert_eq!(Inst::Op(OpKind::Alu).call_site(), None);
+        assert!(!Inst::ResolveTarget { site: s }.is_call());
+    }
+
+    #[test]
+    fn successors_cover_all_edges() {
+        let t = Terminator::Switch {
+            weights: vec![1, 2],
+            cases: vec![BlockId::from_raw(1), BlockId::from_raw(2)],
+            default_weight: 1,
+            default: BlockId::from_raw(3),
+            via_table: true,
+        };
+        let succ: Vec<_> = t.successors().collect();
+        assert_eq!(
+            succ,
+            vec![
+                BlockId::from_raw(1),
+                BlockId::from_raw(2),
+                BlockId::from_raw(3)
+            ]
+        );
+        assert!(Terminator::Return.successors().next().is_none());
+    }
+
+    #[test]
+    fn map_successors_rewrites_every_edge() {
+        let mut t = Terminator::Branch {
+            cond: Cond::Random { ptaken_milli: 500 },
+            then_bb: BlockId::from_raw(1),
+            else_bb: BlockId::from_raw(2),
+        };
+        t.map_successors(|b| BlockId::from_raw(b.index() as u32 + 10));
+        match t {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                assert_eq!(then_bb, BlockId::from_raw(11));
+                assert_eq!(else_bb, BlockId::from_raw(12));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn branch_kind_display() {
+        assert_eq!(BranchKind::IndirectCall.to_string(), "icall");
+        assert_eq!(BranchKind::Return.to_string(), "ret");
+    }
+}

@@ -1,0 +1,248 @@
+//! Modules: the unit of whole-program optimization.
+
+use crate::func::Function;
+use crate::ids::{FuncId, SiteId};
+use crate::inst::{Inst, Terminator};
+use crate::verify::{self, VerifyError};
+use serde::{Deserialize, Serialize};
+
+/// A whole program: the analogue of the paper's LTO-linked kernel bitcode.
+///
+/// All of PIBE's passes are interprocedural and operate on a `Module`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Module {
+    name: String,
+    functions: Vec<Function>,
+    next_site: u64,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            next_site: 0,
+        }
+    }
+
+    /// The module's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a function, assigning and returning its id.
+    pub fn add_function(&mut self, mut f: Function) -> FuncId {
+        let id = FuncId::from_raw(self.functions.len() as u32);
+        f.id = id;
+        self.functions.push(f);
+        id
+    }
+
+    /// Replaces the function at `id` with `f`, fixing `f`'s id to match.
+    /// Used to rebuild forward-referenced functions (generators create
+    /// placeholder bodies first, then fill them in).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn replace_function(&mut self, id: FuncId, mut f: Function) {
+        f.id = id;
+        self.functions[id.index()] = f;
+    }
+
+    /// The raw value the next [`Module::fresh_site`] call would return
+    /// (used by the text parser to keep parsed site ids collision-free).
+    pub fn peek_next_site(&self) -> u64 {
+        self.next_site
+    }
+
+    /// Allocates a fresh, never-used call-site id.
+    pub fn fresh_site(&mut self) -> SiteId {
+        let id = SiteId::from_raw(self.next_site);
+        self.next_site += 1;
+        id
+    }
+
+    /// Returns the function with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// All functions in id order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Iterates over function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.functions.len() as u32).map(FuncId::from_raw)
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True when the module has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Looks a function up by name (linear scan; test/reporting use only).
+    pub fn find_function(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId::from_raw(i as u32))
+    }
+
+    /// Checks structural invariants; see [`VerifyError`] for the conditions.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        verify::verify(self)
+    }
+
+    /// Counts the static branch population of the module — the denominators
+    /// of the paper's Tables 10 and 11.
+    pub fn census(&self) -> BranchCensus {
+        let mut c = BranchCensus::default();
+        for f in &self.functions {
+            for block in f.blocks() {
+                for inst in &block.insts {
+                    match inst {
+                        Inst::Call { .. } => c.direct_calls += 1,
+                        Inst::CallIndirect { .. } => c.indirect_calls += 1,
+                        _ => {}
+                    }
+                }
+                match &block.term {
+                    Terminator::Return => c.returns += 1,
+                    Terminator::Switch { via_table, .. } if *via_table => c.indirect_jumps += 1,
+                    _ => {}
+                }
+            }
+        }
+        c
+    }
+
+    /// Total code size in model bytes (the paper's "img size" numerator).
+    pub fn code_bytes(&self) -> u64 {
+        self.functions
+            .iter()
+            .map(crate::size::function_bytes)
+            .sum()
+    }
+}
+
+/// Static counts of each branch kind in a module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchCensus {
+    /// Number of static direct call sites.
+    pub direct_calls: u64,
+    /// Number of static indirect call sites.
+    pub indirect_calls: u64,
+    /// Number of static indirect jumps (jump-table switches).
+    pub indirect_jumps: u64,
+    /// Number of static return sites.
+    pub returns: u64,
+}
+
+impl BranchCensus {
+    /// Total indirect branches (the attack surface): icalls + ijumps + rets.
+    pub fn indirect_total(&self) -> u64 {
+        self.indirect_calls + self.indirect_jumps + self.returns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::OpKind;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("leaf", 0);
+        b.op(OpKind::Alu);
+        b.ret();
+        let leaf = m.add_function(b.build());
+
+        let s1 = m.fresh_site();
+        let s2 = m.fresh_site();
+        let mut b = FunctionBuilder::new("root", 0);
+        b.call(s1, leaf, 0);
+        b.call_indirect(s2, 1);
+        b.ret();
+        m.add_function(b.build());
+        m
+    }
+
+    #[test]
+    fn add_function_assigns_dense_ids() {
+        let m = sample_module();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.function(FuncId::from_raw(0)).name(), "leaf");
+        assert_eq!(m.function(FuncId::from_raw(1)).name(), "root");
+        assert_eq!(m.find_function("root"), Some(FuncId::from_raw(1)));
+        assert_eq!(m.find_function("missing"), None);
+    }
+
+    #[test]
+    fn fresh_sites_never_repeat() {
+        let mut m = Module::new("m");
+        let a = m.fresh_site();
+        let b = m.fresh_site();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn census_counts_each_branch_kind() {
+        let m = sample_module();
+        let c = m.census();
+        assert_eq!(c.direct_calls, 1);
+        assert_eq!(c.indirect_calls, 1);
+        assert_eq!(c.returns, 2);
+        assert_eq!(c.indirect_jumps, 0);
+        assert_eq!(c.indirect_total(), 3);
+    }
+
+    #[test]
+    fn code_bytes_is_positive_for_nonempty_module() {
+        let m = sample_module();
+        assert!(m.code_bytes() > 0);
+    }
+
+    #[test]
+    fn module_serde_roundtrip_preserves_everything() {
+        let m = sample_module();
+        let json = serde_json::to_string(&m).expect("module serializes");
+        let back: Module = serde_json::from_str(&json).expect("module parses");
+        assert_eq!(back.name(), m.name());
+        assert_eq!(back.len(), m.len());
+        assert_eq!(back.functions(), m.functions());
+        assert_eq!(back.peek_next_site(), m.peek_next_site());
+        back.verify().unwrap();
+    }
+
+    #[test]
+    fn replace_function_fixes_the_id() {
+        let mut m = sample_module();
+        let root = m.find_function("root").unwrap();
+        let mut b = FunctionBuilder::new("root2", 0);
+        b.ret();
+        m.replace_function(root, b.build());
+        assert_eq!(m.function(root).id(), root);
+        assert_eq!(m.function(root).name(), "root2");
+        m.verify().unwrap();
+    }
+}

@@ -1,0 +1,166 @@
+//! Textual rendering of IR, for debugging, docs, and golden tests.
+
+use crate::func::Function;
+use crate::inst::{Cond, Inst, OpKind, Terminator};
+use crate::Module;
+use std::fmt;
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Alu => "alu",
+            OpKind::Mov => "mov",
+            OpKind::Cmp => "cmp",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Fence => "fence",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Op(k) => write!(f, "{k}"),
+            Inst::Call { site, callee, args } => {
+                write!(f, "call {callee}({args}) !{site}")
+            }
+            Inst::CallIndirect {
+                site,
+                args,
+                resolved,
+                asm,
+            } => {
+                let star = if *resolved { "*resolved" } else { "*ptr" };
+                let asm = if *asm { " [asm]" } else { "" };
+                write!(f, "call {star}({args}) !{site}{asm}")
+            }
+            Inst::ResolveTarget { site } => write!(f, "resolve !{site}"),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Random { ptaken_milli } => write!(f, "p={ptaken_milli}‰"),
+            Cond::TargetIs { site, target } => write!(f, "!{site}=={target}"),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump { target } => write!(f, "jmp {target}"),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => write!(f, "br {cond} ? {then_bb} : {else_bb}"),
+            Terminator::Switch {
+                weights,
+                cases,
+                default_weight,
+                default,
+                via_table,
+            } => {
+                let how = if *via_table { "table" } else { "chain" };
+                write!(f, "switch[{how}] ")?;
+                for (i, (c, w)) in cases.iter().zip(weights).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}:{w}")?;
+                }
+                write!(f, " default {default}:{default_weight}")
+            }
+            Terminator::Return => f.write_str("ret"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.attrs();
+        let mut attrs = Vec::new();
+        if a.noinline {
+            attrs.push("noinline");
+        }
+        if a.optnone {
+            attrs.push("optnone");
+        }
+        if a.inline_asm {
+            attrs.push("inline_asm");
+        }
+        if a.boot_only {
+            attrs.push("boot_only");
+        }
+        let attrs = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(","))
+        };
+        writeln!(
+            f,
+            "fn {}({}) frame={}{attrs} {{  ; {}",
+            self.name(),
+            self.arg_count(),
+            self.frame_bytes(),
+            self.id()
+        )?;
+        for (bid, block) in self.iter_blocks() {
+            writeln!(f, "{bid}:")?;
+            for inst in &block.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            writeln!(f, "  {}", block.term)?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; module {}", self.name())?;
+        for func in self.functions() {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{FuncId, SiteId};
+
+    #[test]
+    fn function_renders_blocks_and_calls() {
+        let mut b = FunctionBuilder::new("demo", 1);
+        b.op(OpKind::Alu);
+        b.call(SiteId::from_raw(7), FuncId::from_raw(0), 2);
+        b.ret();
+        let f = b.build();
+        let text = f.to_string();
+        assert!(text.contains("fn demo(1) frame=64"));
+        assert!(text.contains("call @f0(2) !site7"));
+        assert!(text.contains("bb0:"));
+        assert!(text.ends_with('}'));
+    }
+
+    #[test]
+    fn module_render_includes_every_function() {
+        let mut m = Module::new("mod");
+        for name in ["a", "b"] {
+            let mut b = FunctionBuilder::new(name, 0);
+            b.ret();
+            m.add_function(b.build());
+        }
+        let text = m.to_string();
+        assert!(text.contains("fn a(0) frame=64"));
+        assert!(text.contains("fn b(0) frame=64"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Code-size and complexity models.
+//!
+//! Two related but distinct measures:
+//!
+//! * **bytes** — the model's machine-code footprint, used for the image-size
+//!   experiments (Table 12) and the simulator's i-cache layout;
+//! * **inline cost** — LLVM's `InlineCost`-style complexity heuristic, which
+//!   the paper describes exactly in §5.2: "Most instructions incur a standard
+//!   cost [of 5] … a nested call instruction is assigned cost
+//!   `5 + 5 * num_args`". PIBE's Rules 2 and 3 threshold on this measure.
+
+use crate::func::Function;
+use crate::ids::BlockId;
+use crate::inst::{Inst, OpKind, Terminator};
+
+/// LLVM's standard per-instruction cost on x86 (§5.2: "perhaps used as an
+/// approximation for the average binary instruction size").
+pub const STANDARD_INST_COST: u32 = 5;
+
+/// Inline cost of one instruction.
+pub fn inst_cost(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Op(_) => STANDARD_INST_COST,
+        // §5.2: "a nested call instruction is assigned cost 5 + 5 * num_args"
+        Inst::Call { args, .. } | Inst::CallIndirect { args, .. } => {
+            STANDARD_INST_COST + STANDARD_INST_COST * u32::from(*args)
+        }
+        Inst::ResolveTarget { .. } => STANDARD_INST_COST,
+    }
+}
+
+/// Inline cost of a terminator.
+pub fn term_cost(term: &Terminator) -> u32 {
+    match term {
+        // A return or unconditional jump is one instruction.
+        Terminator::Return | Terminator::Jump { .. } => STANDARD_INST_COST,
+        Terminator::Branch { .. } => STANDARD_INST_COST,
+        // A compare-chain switch costs one cmp+jcc pair per case; a
+        // jump-table switch costs the bounds check plus the indexed jump.
+        Terminator::Switch {
+            cases, via_table, ..
+        } => {
+            if *via_table {
+                2 * STANDARD_INST_COST
+            } else {
+                (cases.len() as u32).max(1) * 2 * STANDARD_INST_COST
+            }
+        }
+    }
+}
+
+/// Inline cost ("complexity") of a whole function — the quantity PIBE's
+/// Rule 2 (caller budget, threshold 12 000) and Rule 3 (callee impact,
+/// threshold 3 000) compare against.
+pub fn function_cost(f: &Function) -> u32 {
+    f.blocks()
+        .iter()
+        .map(|b| {
+            b.insts.iter().map(inst_cost).sum::<u32>() + term_cost(&b.term)
+        })
+        .sum()
+}
+
+/// Model machine-code bytes of one instruction.
+pub fn inst_bytes(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Op(OpKind::Fence) => 3,
+        Inst::Op(_) => 4,
+        // call rel32 = 5 bytes, plus one mov per argument.
+        Inst::Call { args, .. } => 5 + 4 * u32::from(*args),
+        // call *%reg = 3 bytes, plus arg moves.
+        Inst::CallIndirect { args, .. } => 3 + 4 * u32::from(*args),
+        Inst::ResolveTarget { .. } => 4,
+    }
+}
+
+/// Model machine-code bytes of a terminator.
+pub fn term_bytes(term: &Terminator) -> u32 {
+    match term {
+        Terminator::Jump { .. } => 5,
+        Terminator::Branch { .. } => 8, // cmp/test + jcc
+        Terminator::Switch {
+            cases, via_table, ..
+        } => {
+            if *via_table {
+                // bounds check + indexed jump + table entries (4B each).
+                12 + 4 * cases.len() as u32
+            } else {
+                8 * (cases.len() as u32).max(1)
+            }
+        }
+        Terminator::Return => 1,
+    }
+}
+
+/// Model machine-code bytes of a function (blocks laid out consecutively).
+pub fn function_bytes(f: &Function) -> u64 {
+    f.blocks()
+        .iter()
+        .map(|b| block_bytes_of(b) as u64)
+        .sum()
+}
+
+fn block_bytes_of(b: &crate::func::Block) -> u32 {
+    b.insts.iter().map(inst_bytes).sum::<u32>() + term_bytes(&b.term)
+}
+
+/// A linear code layout for a module: every function gets a base address and
+/// every block an offset, so the simulator's i-cache can map executed code to
+/// cache lines. Functions are laid out in id order, 16-byte aligned, mirroring
+/// how a linker lays out sections.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    func_base: Vec<u64>,
+    block_span: Vec<Vec<(u32, u32)>>, // per function: (offset, bytes) per block
+    total: u64,
+}
+
+impl Layout {
+    /// Computes the layout of `module`.
+    pub fn of(module: &crate::Module) -> Self {
+        let mut func_base = Vec::with_capacity(module.len());
+        let mut block_span = Vec::with_capacity(module.len());
+        let mut cursor: u64 = 0;
+        for f in module.functions() {
+            cursor = (cursor + 15) & !15;
+            func_base.push(cursor);
+            let mut spans = Vec::with_capacity(f.blocks().len());
+            let mut off: u32 = 0;
+            for b in f.blocks() {
+                let bytes = block_bytes_of(b);
+                spans.push((off, bytes));
+                off += bytes;
+            }
+            cursor += u64::from(off);
+            block_span.push(spans);
+        }
+        Layout {
+            func_base,
+            block_span,
+            total: cursor,
+        }
+    }
+
+    /// Base address of a function.
+    pub fn func_base(&self, f: crate::FuncId) -> u64 {
+        self.func_base[f.index()]
+    }
+
+    /// Address range `(start, len_bytes)` of a block.
+    pub fn block_range(&self, f: crate::FuncId, b: BlockId) -> (u64, u32) {
+        let (off, len) = self.block_span[f.index()][b.index()];
+        (self.func_base[f.index()] + u64::from(off), len)
+    }
+
+    /// Total laid-out code bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ids::{FuncId, SiteId};
+    use crate::Module;
+
+    #[test]
+    fn call_cost_follows_paper_formula() {
+        let call = Inst::Call {
+            site: SiteId::from_raw(0),
+            callee: FuncId::from_raw(0),
+            args: 3,
+        };
+        assert_eq!(inst_cost(&call), 5 + 5 * 3);
+        assert_eq!(inst_cost(&Inst::Op(OpKind::Alu)), STANDARD_INST_COST);
+    }
+
+    #[test]
+    fn function_cost_sums_blocks_and_terminators() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ops(OpKind::Alu, 4); // 4*5 = 20
+        b.ret(); // 5
+        let f = b.build();
+        assert_eq!(function_cost(&f), 25);
+    }
+
+    #[test]
+    fn layout_aligns_functions_and_is_monotone() {
+        let mut m = Module::new("m");
+        for i in 0..3 {
+            let mut b = FunctionBuilder::new(format!("f{i}"), 0);
+            b.ops(OpKind::Alu, i + 1);
+            b.ret();
+            m.add_function(b.build());
+        }
+        let layout = Layout::of(&m);
+        let mut prev = None;
+        for id in m.func_ids() {
+            let base = layout.func_base(id);
+            assert_eq!(base % 16, 0, "function base must be 16-aligned");
+            if let Some(p) = prev {
+                assert!(base > p);
+            }
+            prev = Some(base);
+        }
+        assert!(layout.total_bytes() >= m.code_bytes());
+    }
+
+    #[test]
+    fn block_ranges_do_not_overlap_within_function() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", 0);
+        let bb1 = b.new_block();
+        b.ops(OpKind::Alu, 2);
+        b.jump(bb1);
+        b.switch_to(bb1);
+        b.ops(OpKind::Load, 3);
+        b.ret();
+        let f = m.add_function(b.build());
+        let layout = Layout::of(&m);
+        let (a0, l0) = layout.block_range(f, BlockId::from_raw(0));
+        let (a1, _l1) = layout.block_range(f, BlockId::from_raw(1));
+        assert_eq!(a0 + u64::from(l0), a1);
+    }
+
+    #[test]
+    fn jump_table_switch_is_smaller_than_long_cmp_chain() {
+        use crate::inst::Terminator;
+        let cases: Vec<BlockId> = (0..8).map(BlockId::from_raw).collect();
+        let table = Terminator::Switch {
+            weights: vec![1; 8],
+            cases: cases.clone(),
+            default_weight: 1,
+            default: BlockId::from_raw(8),
+            via_table: true,
+        };
+        let chain = Terminator::Switch {
+            weights: vec![1; 8],
+            cases,
+            default_weight: 1,
+            default: BlockId::from_raw(8),
+            via_table: false,
+        };
+        assert!(term_bytes(&table) < term_bytes(&chain));
+        assert!(term_cost(&table) < term_cost(&chain));
+    }
+}

@@ -1,0 +1,262 @@
+//! Structural verification of modules.
+
+use crate::ids::{BlockId, FuncId};
+use crate::inst::{Cond, Inst, Terminator};
+use crate::Module;
+use std::fmt;
+
+/// A structural invariant violation found by [`Module::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A function has no blocks at all.
+    EmptyFunction {
+        /// The offending function.
+        func: FuncId,
+    },
+    /// A terminator references a block id outside the function.
+    DanglingBlock {
+        /// The function containing the bad edge.
+        func: FuncId,
+        /// The block whose terminator is bad.
+        block: BlockId,
+        /// The out-of-range successor.
+        target: BlockId,
+    },
+    /// A call references a function id outside the module.
+    DanglingCallee {
+        /// The function containing the bad call.
+        func: FuncId,
+        /// The out-of-range callee.
+        callee: FuncId,
+    },
+    /// A switch's weights do not parallel its cases.
+    MalformedSwitch {
+        /// The function containing the bad switch.
+        func: FuncId,
+        /// The block whose switch is bad.
+        block: BlockId,
+    },
+    /// A `CallIndirect { resolved: true }` or `TargetIs` guard appears with
+    /// no preceding `ResolveTarget` for the same site anywhere in the
+    /// function (promotion chains must resolve before guarding).
+    UnresolvedGuard {
+        /// The function containing the bad guard.
+        func: FuncId,
+    },
+    /// The function has no reachable `Return` (every function must be able
+    /// to return to its caller).
+    NoReturnPath {
+        /// The offending function.
+        func: FuncId,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EmptyFunction { func } => write!(f, "function {func} has no blocks"),
+            VerifyError::DanglingBlock {
+                func,
+                block,
+                target,
+            } => write!(f, "{func}:{block} branches to nonexistent {target}"),
+            VerifyError::DanglingCallee { func, callee } => {
+                write!(f, "{func} calls nonexistent {callee}")
+            }
+            VerifyError::MalformedSwitch { func, block } => {
+                write!(f, "{func}:{block} switch weights do not parallel cases")
+            }
+            VerifyError::UnresolvedGuard { func } => {
+                write!(f, "{func} guards or consumes an unresolved call target")
+            }
+            VerifyError::NoReturnPath { func } => {
+                write!(f, "{func} has no return block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks all structural invariants of `module`.
+pub fn verify(module: &Module) -> Result<(), VerifyError> {
+    let nfuncs = module.len() as u32;
+    for f in module.functions() {
+        let fid = f.id();
+        let nblocks = f.blocks().len() as u32;
+        if nblocks == 0 {
+            return Err(VerifyError::EmptyFunction { func: fid });
+        }
+        // Collect every resolved site first: transformations (inlining) may
+        // reorder block *indices* freely as long as a ResolveTarget precedes
+        // its consumers in *control-flow* order, which the executor enforces
+        // dynamically. The static check is function-scoped.
+        let mut resolved_sites = std::collections::HashSet::new();
+        for block in f.blocks() {
+            for inst in &block.insts {
+                if let Inst::ResolveTarget { site } = inst {
+                    resolved_sites.insert(*site);
+                }
+            }
+        }
+        let mut has_return = false;
+        for (bid, block) in f.iter_blocks() {
+            for inst in &block.insts {
+                match inst {
+                    Inst::Call { callee, .. } => {
+                        if callee.index() as u32 >= nfuncs {
+                            return Err(VerifyError::DanglingCallee {
+                                func: fid,
+                                callee: *callee,
+                            });
+                        }
+                    }
+                    Inst::CallIndirect { site, resolved, .. } => {
+                        if *resolved && !resolved_sites.contains(site) {
+                            return Err(VerifyError::UnresolvedGuard { func: fid });
+                        }
+                    }
+                    Inst::ResolveTarget { .. } | Inst::Op(_) => {}
+                }
+            }
+            match &block.term {
+                Terminator::Switch { weights, cases, .. }
+                    if weights.len() != cases.len() => {
+                        return Err(VerifyError::MalformedSwitch {
+                            func: fid,
+                            block: bid,
+                        });
+                    }
+                Terminator::Branch {
+                    cond: Cond::TargetIs { site, target },
+                    ..
+                } => {
+                    if !resolved_sites.contains(site) {
+                        return Err(VerifyError::UnresolvedGuard { func: fid });
+                    }
+                    if target.index() as u32 >= nfuncs {
+                        return Err(VerifyError::DanglingCallee {
+                            func: fid,
+                            callee: *target,
+                        });
+                    }
+                }
+                Terminator::Return => has_return = true,
+                _ => {}
+            }
+            for succ in block.term.successors() {
+                if succ.index() as u32 >= nblocks {
+                    return Err(VerifyError::DanglingBlock {
+                        func: fid,
+                        block: bid,
+                        target: succ,
+                    });
+                }
+            }
+        }
+        if !has_return {
+            return Err(VerifyError::NoReturnPath { func: fid });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::Block;
+    use crate::inst::OpKind;
+    use crate::SiteId;
+
+    fn ok_module() -> Module {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", 0);
+        b.op(OpKind::Alu);
+        b.ret();
+        m.add_function(b.build());
+        m
+    }
+
+    #[test]
+    fn valid_module_verifies() {
+        assert!(ok_module().verify().is_ok());
+    }
+
+    #[test]
+    fn dangling_callee_rejected() {
+        let mut m = ok_module();
+        let mut b = FunctionBuilder::new("g", 0);
+        b.call(SiteId::from_raw(0), FuncId::from_raw(99), 0);
+        b.ret();
+        m.add_function(b.build());
+        assert!(matches!(
+            m.verify(),
+            Err(VerifyError::DanglingCallee { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_block_rejected() {
+        let mut m = ok_module();
+        let f = m.find_function("f").unwrap();
+        m.function_mut(f).blocks_mut()[0].term = Terminator::Jump {
+            target: BlockId::from_raw(7),
+        };
+        assert!(matches!(m.verify(), Err(VerifyError::DanglingBlock { .. })));
+    }
+
+    #[test]
+    fn missing_return_rejected() {
+        let mut m = ok_module();
+        let f = m.find_function("f").unwrap();
+        m.function_mut(f).blocks_mut()[0].term = Terminator::Jump {
+            target: BlockId::from_raw(0),
+        };
+        assert!(matches!(m.verify(), Err(VerifyError::NoReturnPath { .. })));
+    }
+
+    #[test]
+    fn unresolved_guard_rejected() {
+        let mut m = ok_module();
+        let f = m.find_function("f").unwrap();
+        m.function_mut(f).blocks_mut()[0] = Block::new(
+            vec![Inst::CallIndirect {
+                site: SiteId::from_raw(3),
+                args: 0,
+                resolved: true,
+                asm: false,
+            }],
+            Terminator::Return,
+        );
+        assert!(matches!(
+            m.verify(),
+            Err(VerifyError::UnresolvedGuard { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_switch_rejected() {
+        let mut m = ok_module();
+        let f = m.find_function("f").unwrap();
+        m.function_mut(f).blocks_mut()[0].term = Terminator::Switch {
+            weights: vec![1, 2, 3],
+            cases: vec![BlockId::from_raw(0)],
+            default_weight: 1,
+            default: BlockId::from_raw(0),
+            via_table: false,
+        };
+        assert!(matches!(
+            m.verify(),
+            Err(VerifyError::MalformedSwitch { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = VerifyError::EmptyFunction {
+            func: FuncId::from_raw(2),
+        };
+        assert!(e.to_string().contains("@f2"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # pibe-kernel
+//!
+//! A deterministic, seeded generator for a synthetic Linux-kernel-like
+//! program, plus analogues of every workload the paper measures.
+//!
+//! The paper evaluates on Linux 5.1: ~21 k static indirect call sites,
+//! ~133 k return sites, 20 LMBench microbenchmarks, and Apache/Nginx/DBench
+//! macrobenchmarks. This crate rebuilds the *structure* those experiments
+//! depend on:
+//!
+//! * a module whose static branch census matches the kernel's (scaled by
+//!   [`KernelSpec::scale`]),
+//! * per-syscall hot paths through shared subsystem trunks (vfs, net, mm,
+//!   sched, ipc, signal, security), so different workloads overlap partially
+//!   — the property the robustness experiment of §8.4 measures,
+//! * indirect-call *interface sites* whose target-multiplicity distribution
+//!   matches Table 4 (517 single-target sites, 109 two-target, … 22 with
+//!   more than six),
+//! * 41 paravirt hypercall sites implemented as (modelled) inline assembly
+//!   that no defense can reach (Table 11), five assembly jump tables, a
+//!   boot-only section, and a long tail of cold driver code,
+//! * workload definitions: the 20 LMBench latency benchmarks of Table 2,
+//!   an LMBench profiling workload (11 aggregated iterations, as in §8),
+//!   and Apache-, Nginx-, and DBench-like macro workloads (Table 7), each
+//!   with its own indirect-target distribution (a web server resolves
+//!   `file_ops` to socket implementations more often than a file benchmark
+//!   does).
+//!
+//! Everything is reproducible: the same [`KernelSpec`] always generates the
+//! same module, and workload randomness comes from seeds carried by the
+//! workload definitions.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod gen;
+pub mod measure;
+mod spec;
+mod syscalls;
+pub mod workloads;
+
+pub use gen::{InterfaceSite, Kernel};
+pub use spec::{KernelSpec, KernelTuning, Provider, Subsystem};
+pub use syscalls::Syscall;
+pub use workloads::{Benchmark, MacroBench, WorkloadSpec};

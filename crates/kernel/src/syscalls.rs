@@ -1,0 +1,180 @@
+//! Kernel entry points — one per LMBench latency benchmark of Table 2.
+
+use crate::spec::Subsystem;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kernel entry points exercised by the evaluation, named after the 20
+/// LMBench latency benchmarks of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // names mirror Table 2 rows
+pub enum Syscall {
+    Null,
+    Read,
+    Write,
+    Open,
+    Stat,
+    Fstat,
+    AfUnix,
+    ForkExit,
+    ForkExec,
+    ForkShell,
+    Pipe,
+    SelectFile,
+    SelectTcp,
+    TcpConn,
+    Udp,
+    Tcp,
+    Mmap,
+    PageFault,
+    SigInstall,
+    SigDispatch,
+}
+
+impl Syscall {
+    /// All entry points, in Table 2 row order.
+    pub const ALL: [Syscall; 20] = [
+        Syscall::Null,
+        Syscall::Read,
+        Syscall::Write,
+        Syscall::Open,
+        Syscall::Stat,
+        Syscall::Fstat,
+        Syscall::AfUnix,
+        Syscall::ForkExit,
+        Syscall::ForkExec,
+        Syscall::ForkShell,
+        Syscall::Pipe,
+        Syscall::SelectFile,
+        Syscall::SelectTcp,
+        Syscall::TcpConn,
+        Syscall::Udp,
+        Syscall::Tcp,
+        Syscall::Mmap,
+        Syscall::PageFault,
+        Syscall::SigInstall,
+        Syscall::SigDispatch,
+    ];
+
+    /// Table 2's name for this benchmark/entry point.
+    pub fn name(self) -> &'static str {
+        match self {
+            Syscall::Null => "null",
+            Syscall::Read => "read",
+            Syscall::Write => "write",
+            Syscall::Open => "open",
+            Syscall::Stat => "stat",
+            Syscall::Fstat => "fstat",
+            Syscall::AfUnix => "af_unix",
+            Syscall::ForkExit => "fork/exit",
+            Syscall::ForkExec => "fork/exec",
+            Syscall::ForkShell => "fork/shell",
+            Syscall::Pipe => "pipe",
+            Syscall::SelectFile => "select_file",
+            Syscall::SelectTcp => "select_tcp",
+            Syscall::TcpConn => "tcp_conn",
+            Syscall::Udp => "udp",
+            Syscall::Tcp => "tcp",
+            Syscall::Mmap => "mmap",
+            Syscall::PageFault => "page_fault",
+            Syscall::SigInstall => "sig_install",
+            Syscall::SigDispatch => "sig_dispatch",
+        }
+    }
+
+    /// The subsystem trunks this entry's hot path flows through, in order.
+    /// Sharing these trunks across syscalls is what gives two different
+    /// workloads partially-overlapping hot sets (§8.4).
+    pub fn trunks(self) -> &'static [Subsystem] {
+        use Subsystem::*;
+        match self {
+            Syscall::Null => &[Sched],
+            Syscall::Read | Syscall::Write => &[Security, Vfs],
+            Syscall::Open => &[Security, Vfs, Mm],
+            Syscall::Stat => &[Security, Vfs],
+            Syscall::Fstat => &[Vfs],
+            Syscall::AfUnix => &[Security, Net, Ipc],
+            Syscall::ForkExit => &[Sched, Mm, Signal],
+            Syscall::ForkExec => &[Sched, Mm, Vfs, Security],
+            Syscall::ForkShell => &[Sched, Mm, Vfs, Security, Signal],
+            Syscall::Pipe => &[Ipc, Vfs],
+            Syscall::SelectFile => &[Vfs, Ipc],
+            Syscall::SelectTcp => &[Net, Vfs],
+            Syscall::TcpConn => &[Security, Net, Sched],
+            Syscall::Udp => &[Net],
+            Syscall::Tcp => &[Security, Net],
+            Syscall::Mmap => &[Mm, Vfs],
+            Syscall::PageFault => &[Mm],
+            Syscall::SigInstall => &[Signal],
+            Syscall::SigDispatch => &[Signal, Sched],
+        }
+    }
+
+    /// Relative path heaviness: `(private_chain_len, body_scale,
+    /// loop_continue_permille)` tuned so simulated latencies land in the
+    /// magnitude ordering of Table 2 (null ≈ 0.14 µs … fork/shell ≈ 419 µs).
+    pub fn path_shape(self) -> (usize, usize, u16) {
+        match self {
+            Syscall::Null => (2, 6, 0),
+            Syscall::Read | Syscall::Write => (4, 14, 0),
+            Syscall::Fstat => (4, 16, 0),
+            Syscall::Stat => (6, 24, 200),
+            Syscall::Open => (8, 28, 300),
+            Syscall::Pipe => (6, 30, 500),
+            Syscall::AfUnix => (7, 32, 600),
+            Syscall::SelectFile => (6, 26, 700),
+            Syscall::SelectTcp => (7, 30, 800),
+            Syscall::TcpConn => (8, 34, 780),
+            Syscall::Udp => (7, 30, 620),
+            Syscall::Tcp => (7, 32, 650),
+            Syscall::Mmap => (8, 30, 800),
+            Syscall::PageFault => (3, 10, 0),
+            Syscall::SigInstall => (3, 12, 0),
+            Syscall::SigDispatch => (5, 20, 300),
+            Syscall::ForkExit => (12, 40, 960),
+            Syscall::ForkExec => (14, 44, 975),
+            Syscall::ForkShell => (16, 48, 985),
+        }
+    }
+}
+
+impl fmt::Display for Syscall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_entries_matching_table2() {
+        assert_eq!(Syscall::ALL.len(), 20);
+        assert_eq!(Syscall::ALL[0].name(), "null");
+        assert_eq!(Syscall::ALL[19].name(), "sig_dispatch");
+    }
+
+    #[test]
+    fn every_entry_has_at_least_one_trunk() {
+        for s in Syscall::ALL {
+            assert!(!s.trunks().is_empty(), "{s} must traverse a subsystem");
+        }
+    }
+
+    #[test]
+    fn fork_paths_are_the_heaviest() {
+        let weight = |s: Syscall| {
+            let (len, body, p) = s.path_shape();
+            len * body * (1000 / (1000 - p as usize).max(1))
+        };
+        assert!(weight(Syscall::ForkShell) > weight(Syscall::ForkExit));
+        assert!(weight(Syscall::ForkExit) > weight(Syscall::Read));
+        assert!(weight(Syscall::Read) > weight(Syscall::Null));
+    }
+
+    #[test]
+    fn read_and_write_share_trunks() {
+        assert_eq!(Syscall::Read.trunks(), Syscall::Write.trunks());
+    }
+}

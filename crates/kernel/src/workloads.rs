@@ -1,0 +1,292 @@
+//! Workload definitions: LMBench, Apache, Nginx, DBench analogues.
+//!
+//! A [`WorkloadSpec`] owns everything that makes execution workload-
+//! dependent: which entry points run (the benchmark definitions reference
+//! them) and how indirect-call sites resolve (per-provider preference
+//! weights plus a workload-specific oracle seed). The paper's robustness
+//! experiment (§8.4) relies on exactly this: LMBench and ApacheBench
+//! exercise overlapping-but-different hot sets and skew shared dispatch
+//! sites toward different targets.
+
+use crate::gen::Kernel;
+use crate::spec::Provider;
+use crate::syscalls::Syscall;
+use pibe_sim::MapResolver;
+use serde::{Deserialize, Serialize};
+
+/// A workload: a name, an oracle seed, and provider preferences.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (used in reports).
+    pub name: String,
+    /// Seed for per-site target-weight jitter.
+    pub oracle_seed: u64,
+    /// Relative preference per provider: how often this workload's indirect
+    /// dispatches land on each provider's implementation.
+    pub provider_weight: Vec<(Provider, u32)>,
+}
+
+impl WorkloadSpec {
+    fn weight_of(&self, p: Provider) -> u32 {
+        self.provider_weight
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, w)| *w)
+            .unwrap_or(1)
+    }
+
+    /// Builds the target resolver this workload induces over `kernel`'s
+    /// interface sites: per site, each target's weight is a deterministic
+    /// jitter (from `oracle_seed`) scaled by the provider preference.
+    pub fn resolver(&self, kernel: &Kernel) -> MapResolver {
+        let mut r = MapResolver::new();
+        for iface in &kernel.interface_sites {
+            let dist: Vec<_> = iface
+                .targets
+                .iter()
+                .map(|(f, p)| {
+                    let jitter =
+                        1 + (splitmix(self.oracle_seed ^ iface.site.raw() ^ f.index() as u64) % 16)
+                            as u32;
+                    (*f, jitter * self.weight_of(*p))
+                })
+                .collect();
+            r.insert(iface.site, dist);
+        }
+        r
+    }
+
+    /// The LMBench workload: balanced across providers (the suite touches
+    /// files, pipes, sockets, and processes alike).
+    pub fn lmbench() -> Self {
+        WorkloadSpec {
+            name: "lmbench".into(),
+            oracle_seed: 0x11AA,
+            provider_weight: vec![
+                (Provider::Tmpfs, 6),
+                (Provider::Ext4, 5),
+                (Provider::Proc, 2),
+                (Provider::Sock, 5),
+                (Provider::Pipe, 4),
+                (Provider::Dev, 2),
+                (Provider::Generic, 3),
+            ],
+        }
+    }
+
+    /// The ApacheBench workload: socket-dominated with static-file reads.
+    pub fn apache() -> Self {
+        WorkloadSpec {
+            name: "apache".into(),
+            oracle_seed: 0x22BB,
+            provider_weight: vec![
+                (Provider::Tmpfs, 3),
+                (Provider::Ext4, 4),
+                (Provider::Proc, 1),
+                (Provider::Sock, 14),
+                (Provider::Pipe, 1),
+                (Provider::Dev, 1),
+                (Provider::Generic, 2),
+            ],
+        }
+    }
+
+    /// The Nginx workload: like Apache but even more socket/event heavy.
+    pub fn nginx() -> Self {
+        WorkloadSpec {
+            name: "nginx".into(),
+            oracle_seed: 0x33CC,
+            provider_weight: vec![
+                (Provider::Tmpfs, 2),
+                (Provider::Ext4, 3),
+                (Provider::Proc, 1),
+                (Provider::Sock, 16),
+                (Provider::Pipe, 1),
+                (Provider::Dev, 1),
+                (Provider::Generic, 2),
+            ],
+        }
+    }
+
+    /// The DBench workload: a file-server simulation on tmpfs.
+    pub fn dbench() -> Self {
+        WorkloadSpec {
+            name: "dbench".into(),
+            oracle_seed: 0x44DD,
+            provider_weight: vec![
+                (Provider::Tmpfs, 16),
+                (Provider::Ext4, 2),
+                (Provider::Proc, 1),
+                (Provider::Sock, 2),
+                (Provider::Pipe, 2),
+                (Provider::Dev, 1),
+                (Provider::Generic, 2),
+            ],
+        }
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One LMBench latency benchmark: repeated invocations of one entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// The entry point exercised (its [`Syscall::name`] is the Table 2 row).
+    pub syscall: Syscall,
+    /// Timed iterations.
+    pub iterations: u32,
+    /// Warm-up iterations (caches and predictors, as LMBench does).
+    pub warmup: u32,
+}
+
+/// The 20-benchmark LMBench latency suite of Table 2. `iters` scales the
+/// per-benchmark iteration count (tests use small values; tables larger).
+pub fn lmbench_suite(iters: u32) -> Vec<Benchmark> {
+    Syscall::ALL
+        .iter()
+        .map(|s| {
+            // Heavy fork benchmarks run fewer iterations, as in LMBench.
+            let heavy = matches!(
+                s,
+                Syscall::ForkExit | Syscall::ForkExec | Syscall::ForkShell
+            );
+            Benchmark {
+                syscall: *s,
+                iterations: if heavy { iters.div_ceil(4).max(2) } else { iters },
+                warmup: if heavy { 1 } else { (iters / 8).max(2) },
+            }
+        })
+        .collect()
+}
+
+/// A macrobenchmark: a repeated *request* composed of several syscalls
+/// (Table 7 reports throughput = requests per second).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacroBench {
+    /// Benchmark name (Table 7 row).
+    pub name: String,
+    /// The syscalls one request performs, with multiplicities.
+    pub request: Vec<(Syscall, u32)>,
+    /// Requests per measurement.
+    pub requests: u32,
+    /// Warm-up requests.
+    pub warmup: u32,
+}
+
+impl MacroBench {
+    /// Nginx serving a small static page over keep-alive connections.
+    pub fn nginx(requests: u32) -> Self {
+        MacroBench {
+            name: "Nginx".into(),
+            request: vec![
+                (Syscall::SelectTcp, 2),
+                (Syscall::Tcp, 2),
+                (Syscall::Write, 1),
+                (Syscall::Open, 1),
+                (Syscall::Read, 1),
+                (Syscall::Fstat, 1),
+            ],
+            requests,
+            warmup: (requests / 8).max(1),
+        }
+    }
+
+    /// Apache (MPM event) serving the same page with more per-request work.
+    pub fn apache(requests: u32) -> Self {
+        MacroBench {
+            name: "Apache".into(),
+            request: vec![
+                (Syscall::SelectTcp, 1),
+                (Syscall::TcpConn, 1),
+                (Syscall::Tcp, 2),
+                (Syscall::Stat, 2),
+                (Syscall::Open, 1),
+                (Syscall::Read, 2),
+                (Syscall::Write, 1),
+                (Syscall::SigDispatch, 1),
+            ],
+            requests,
+            warmup: (requests / 8).max(1),
+        }
+    }
+
+    /// DBench file-server load on tmpfs.
+    pub fn dbench(requests: u32) -> Self {
+        MacroBench {
+            name: "DBench".into(),
+            request: vec![
+                (Syscall::Open, 2),
+                (Syscall::Read, 4),
+                (Syscall::Write, 4),
+                (Syscall::Stat, 3),
+                (Syscall::Fstat, 2),
+                (Syscall::Mmap, 1),
+            ],
+            requests,
+            warmup: (requests / 8).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelSpec;
+
+    #[test]
+    fn resolver_covers_every_interface_site() {
+        let k = Kernel::generate(KernelSpec::test());
+        let r = WorkloadSpec::lmbench().resolver(&k);
+        for s in &k.interface_sites {
+            let dist = r.get(s.site).expect("site must be resolvable");
+            assert_eq!(dist.len(), s.targets.len());
+            assert!(dist.iter().all(|(_, w)| *w > 0));
+        }
+    }
+
+    #[test]
+    fn workloads_skew_shared_sites_differently() {
+        let k = Kernel::generate(KernelSpec::test());
+        let lm = WorkloadSpec::lmbench().resolver(&k);
+        let ap = WorkloadSpec::apache().resolver(&k);
+        // Find a multi-provider site and compare weight vectors.
+        let site = k
+            .interface_sites
+            .iter()
+            .find(|s| s.targets.len() >= 3)
+            .expect("a multi-target site exists");
+        let a = lm.get(site.site).unwrap();
+        let b = ap.get(site.site).unwrap();
+        assert_ne!(a, b, "different workloads induce different distributions");
+    }
+
+    #[test]
+    fn lmbench_suite_covers_table2() {
+        let suite = lmbench_suite(64);
+        assert_eq!(suite.len(), 20);
+        let fork = suite
+            .iter()
+            .find(|b| b.syscall == Syscall::ForkShell)
+            .unwrap();
+        assert!(fork.iterations < 64, "fork benchmarks run fewer iterations");
+    }
+
+    #[test]
+    fn macro_benches_have_nonempty_requests() {
+        for mb in [
+            MacroBench::nginx(10),
+            MacroBench::apache(10),
+            MacroBench::dbench(10),
+        ] {
+            assert!(!mb.request.is_empty());
+            assert!(mb.requests > 0);
+            let total: u32 = mb.request.iter().map(|(_, n)| *n).sum();
+            assert!(total >= 4, "{} request too trivial", mb.name);
+        }
+    }
+}

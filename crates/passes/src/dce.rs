@@ -1,0 +1,239 @@
+//! Dead-function elimination: the linker-style `--gc-sections` analogue.
+//!
+//! The synthetic kernel (like a real one) carries a long tail of functions
+//! no entry point can reach. This pass rebuilds a module containing only
+//! the functions reachable from a root set — following direct calls,
+//! promoted-guard targets, and a caller-supplied set of address-taken
+//! functions (indirect-call targets are invisible statically, exactly the
+//! reason real dead-code elimination needs relocation/address-taken
+//! information).
+//!
+//! Because function ids are dense indices, removal *renumbers* the
+//! survivors; the returned [`DceMap`] translates old ids so callers can
+//! remap entry tables, target oracles, and profiles.
+
+use pibe_ir::{Cond, FuncId, Inst, Module, Terminator};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Old-id → new-id translation for a stripped module.
+#[derive(Debug, Clone)]
+pub struct DceMap {
+    forward: Vec<Option<FuncId>>,
+}
+
+impl DceMap {
+    /// New id of an old function, or `None` if it was removed.
+    pub fn translate(&self, old: FuncId) -> Option<FuncId> {
+        self.forward.get(old.index()).copied().flatten()
+    }
+}
+
+/// What [`strip_unreachable`] removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DceStats {
+    /// Functions kept.
+    pub kept_functions: u64,
+    /// Functions removed.
+    pub removed_functions: u64,
+    /// Model code bytes removed.
+    pub removed_bytes: u64,
+}
+
+/// Rebuilds `module` with only the functions reachable from `roots` plus
+/// `address_taken` (functions whose address escapes into dispatch tables —
+/// they stay even without a static call edge, since an indirect call may
+/// reach them).
+///
+/// Call edges followed: direct calls, and promoted-guard (`TargetIs`)
+/// targets. Returns the stripped module, the id translation, and removal
+/// statistics. Site ids are preserved, so profiles keep applying.
+pub fn strip_unreachable(
+    module: &Module,
+    roots: &[FuncId],
+    address_taken: &[FuncId],
+) -> (Module, DceMap, DceStats) {
+    // Mark phase.
+    let mut live: HashSet<FuncId> = HashSet::new();
+    let mut work: Vec<FuncId> = Vec::new();
+    for &f in roots.iter().chain(address_taken) {
+        if live.insert(f) {
+            work.push(f);
+        }
+    }
+    while let Some(f) = work.pop() {
+        for block in module.function(f).blocks() {
+            for inst in &block.insts {
+                if let Inst::Call { callee, .. } = inst {
+                    if live.insert(*callee) {
+                        work.push(*callee);
+                    }
+                }
+            }
+            if let Terminator::Branch {
+                cond: Cond::TargetIs { target, .. },
+                ..
+            } = &block.term
+            {
+                if live.insert(*target) {
+                    work.push(*target);
+                }
+            }
+        }
+    }
+
+    // Sweep phase: rebuild with dense new ids, old order preserved.
+    let mut stripped = Module::new(module.name().to_string());
+    let mut forward: Vec<Option<FuncId>> = vec![None; module.len()];
+    for f in module.functions() {
+        if live.contains(&f.id()) {
+            forward[f.id().index()] = Some(stripped.add_function(f.clone()));
+        }
+    }
+    // Remap call targets.
+    let translate = |old: FuncId| {
+        forward[old.index()].expect("live function calls only live functions")
+    };
+    for id in stripped.func_ids().collect::<Vec<_>>() {
+        for block in stripped.function_mut(id).blocks_mut() {
+            for inst in &mut block.insts {
+                if let Inst::Call { callee, .. } = inst {
+                    *callee = translate(*callee);
+                }
+            }
+            if let Terminator::Branch {
+                cond: Cond::TargetIs { target, .. },
+                ..
+            } = &mut block.term
+            {
+                *target = translate(*target);
+            }
+        }
+    }
+
+    let stats = DceStats {
+        kept_functions: stripped.len() as u64,
+        removed_functions: (module.len() - stripped.len()) as u64,
+        removed_bytes: module.code_bytes() - stripped.code_bytes(),
+    };
+    (stripped, DceMap { forward }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_ir::{FunctionBuilder, OpKind};
+
+    /// dead0, leaf, dead1, root(->leaf), dead2(->dead0)
+    fn module() -> (Module, FuncId, FuncId) {
+        let mut m = Module::new("m");
+        let mk_leaf = |m: &mut Module, name: &str| {
+            let mut b = FunctionBuilder::new(name, 0);
+            b.op(OpKind::Alu);
+            b.ret();
+            m.add_function(b.build())
+        };
+        let dead0 = mk_leaf(&mut m, "dead0");
+        let leaf = mk_leaf(&mut m, "leaf");
+        let _dead1 = mk_leaf(&mut m, "dead1");
+        let s = m.fresh_site();
+        let mut b = FunctionBuilder::new("root", 0);
+        b.call(s, leaf, 0);
+        b.ret();
+        let root = m.add_function(b.build());
+        let s2 = m.fresh_site();
+        let mut b = FunctionBuilder::new("dead2", 0);
+        b.call(s2, dead0, 0);
+        b.ret();
+        m.add_function(b.build());
+        (m, root, leaf)
+    }
+
+    #[test]
+    fn strips_everything_unreachable_from_roots() {
+        let (m, root, leaf) = module();
+        let (stripped, map, stats) = strip_unreachable(&m, &[root], &[]);
+        assert_eq!(stats.kept_functions, 2);
+        assert_eq!(stats.removed_functions, 3);
+        assert!(stats.removed_bytes > 0);
+        stripped.verify().unwrap();
+        // Ids renumbered but names survive, and call edges still resolve.
+        let new_root = map.translate(root).expect("root kept");
+        assert_eq!(stripped.function(new_root).name(), "root");
+        assert!(map.translate(leaf).is_some());
+        assert_eq!(map.translate(FuncId::from_raw(0)), None, "dead0 removed");
+    }
+
+    #[test]
+    fn address_taken_functions_survive() {
+        let (m, root, _leaf) = module();
+        let dead1 = m.find_function("dead1").unwrap();
+        let (stripped, map, _) = strip_unreachable(&m, &[root], &[dead1]);
+        assert!(map.translate(dead1).is_some());
+        assert_eq!(stripped.len(), 3);
+    }
+
+    #[test]
+    fn transitive_closure_via_dead_functions_is_not_kept() {
+        let (m, root, _) = module();
+        // dead2 calls dead0, but neither is reachable from root.
+        let (stripped, _, _) = strip_unreachable(&m, &[root], &[]);
+        assert!(stripped.find_function("dead2").is_none());
+        assert!(stripped.find_function("dead0").is_none());
+    }
+
+    #[test]
+    fn promoted_guard_targets_are_followed() {
+        use pibe_ir::{BlockId, Cond, Terminator};
+        let (mut m, root, _leaf) = module();
+        let dead1 = m.find_function("dead1").unwrap();
+        // Give root an ICP-style guard naming dead1.
+        let s = m.fresh_site();
+        let f = m.function_mut(root);
+        f.blocks_mut()[0].insts.insert(0, pibe_ir::Inst::ResolveTarget { site: s });
+        let ret_block = pibe_ir::Block::new(Vec::new(), Terminator::Return);
+        f.blocks_mut().push(ret_block);
+        let last = BlockId::from_raw(f.blocks().len() as u32 - 1);
+        f.blocks_mut()[0].term = Terminator::Branch {
+            cond: Cond::TargetIs { site: s, target: dead1 },
+            then_bb: last,
+            else_bb: last,
+        };
+        m.verify().unwrap();
+        let (stripped, map, _) = strip_unreachable(&m, &[root], &[]);
+        assert!(map.translate(dead1).is_some(), "guard target kept");
+        stripped.verify().unwrap();
+    }
+
+    #[test]
+    fn kernel_scale_dce_removes_the_cold_mass() {
+        use pibe_kernel::{Kernel, KernelSpec, Syscall};
+        let k = Kernel::generate(KernelSpec::test());
+        let roots: Vec<FuncId> = Syscall::ALL.iter().map(|s| k.entry(*s)).collect();
+        let taken: Vec<FuncId> = k
+            .interface_sites
+            .iter()
+            .flat_map(|s| s.targets.iter().map(|(f, _)| *f))
+            .collect();
+        let (stripped, _, stats) = strip_unreachable(&k.module, &roots, &taken);
+        stripped.verify().unwrap();
+        let cold_total = k
+            .module
+            .functions()
+            .iter()
+            .filter(|f| f.name().starts_with("cold_") || f.name().starts_with("boot_"))
+            .count() as u64;
+        assert!(cold_total > 0);
+        assert!(
+            stats.removed_functions >= cold_total,
+            "all cold/boot mass is unreachable ({} removed, {cold_total} cold)",
+            stats.removed_functions
+        );
+        assert!(
+            stripped.functions().iter().all(|f| !f.name().starts_with("cold_")),
+            "no cold function survives"
+        );
+        // Every syscall entry survives and still verifies.
+        assert!(stripped.find_function("sys_read").is_some());
+    }
+}

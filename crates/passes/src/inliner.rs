@@ -1,0 +1,438 @@
+//! PIBE's greedy hot-first security inliner (§5.2).
+//!
+//! Traditional inliners optimise for *further optimisation opportunities*
+//! and therefore inline only very small functions. PIBE inlines to remove
+//! **backward edges** (returns) from hot paths, because every surviving
+//! return must pay the return-retpoline/LVI toll. The algorithm:
+//!
+//! 1. **Rule 1 — inline only hot call sites.** Rank every direct call site
+//!    by profiled execution count and greedily select the hottest prefix
+//!    covering the optimization budget.
+//! 2. **Rule 2 — avoid excessive complexity in the caller.** Skip a site
+//!    when the caller's post-inline `InlineCost` complexity would exceed
+//!    12 000 (experimentally tuned, §5.2), bounding stack-frame bloat.
+//! 3. **Rule 3 — skip heavyweight callees.** Skip callees whose own
+//!    complexity exceeds LLVM's default threshold of 3 000, so one big
+//!    callee cannot deplete a caller's budget that many small hot callees
+//!    could use (Figure 1's `bar`/`foo_1` example).
+//!
+//! After inlining a callee `f` through a site with count ε, `f`'s own call
+//! sites — now copied into the caller — are re-added as candidates with
+//! count `count_in_f × ε / invocations(f)` (Scheifler-style constant-ratio
+//! heuristic), so hot chains keep collapsing.
+//!
+//! The paper's best configuration additionally *disables* Rules 2 and 3 for
+//! sites inside the 99% hottest prefix ("lax heuristics", §8.3), trading
+//! image size for the last points of latency.
+
+use crate::transform::{inline_call_site, InlineError};
+use crate::weights::SiteWeights;
+use pibe_ir::{size, CallGraph, FuncId, Inst, Module, SiteId};
+use pibe_profile::{select_by_budget, Budget, Profile};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// Inliner tuning knobs, defaulting to the paper's experimentally selected
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InlinerConfig {
+    /// Rule 1 optimization budget over cumulative direct-call weight.
+    pub budget: Budget,
+    /// Rule 2 threshold on the caller's post-inline complexity (12 000).
+    pub rule2_caller_limit: u32,
+    /// Rule 3 threshold on the callee's complexity (3 000, LLVM's default).
+    pub rule3_callee_limit: u32,
+    /// "Lax heuristics": disable Rules 2 and 3 for sites within
+    /// `lax_budget` (the paper found the size heuristics counterproductive
+    /// for the 99% hottest sites, §8.3).
+    pub lax_heuristics: bool,
+    /// The prefix within which lax mode applies (99% in the paper).
+    pub lax_budget: Budget,
+}
+
+impl Default for InlinerConfig {
+    fn default() -> Self {
+        InlinerConfig {
+            budget: Budget::P99_9,
+            rule2_caller_limit: 12_000,
+            rule3_callee_limit: 3_000,
+            lax_heuristics: false,
+            lax_budget: Budget::P99,
+        }
+    }
+}
+
+/// What the inliner did — the raw material of Tables 8, 9, and 10.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InlinerStats {
+    /// All direct-call weight observed (Table 9's "Ovr." column).
+    pub total_weight: u64,
+    /// Static direct call sites considered.
+    pub total_sites: u64,
+    /// Direct call sites with a nonzero profiled weight — the candidate
+    /// population Table 8's site percentages are relative to.
+    pub profiled_sites: u64,
+    /// Candidate sites selected by the budget (Table 10's "Candidates").
+    pub candidate_sites: u64,
+    /// Weight covered by the selected candidates.
+    pub candidate_weight: u64,
+    /// Call sites actually inlined (returns eliminated, Table 8).
+    pub inlined_sites: u64,
+    /// Dynamic weight elided — executed call/return pairs removed.
+    pub inlined_weight: u64,
+    /// Weight blocked by Rule 2 (caller complexity, Table 9).
+    pub blocked_rule2_weight: u64,
+    /// Weight blocked by Rule 3 (callee complexity, Table 9).
+    pub blocked_rule3_weight: u64,
+    /// Weight blocked for other reasons: recursive callees, `noinline`,
+    /// `optnone` callers, inline-asm bodies (Table 9's "other").
+    pub blocked_other_weight: u64,
+    /// Candidates added through the constant-ratio propagation heuristic.
+    pub propagated_candidates: u64,
+}
+
+/// A heap entry; ordered by weight (hottest first), ties broken by site then
+/// caller for determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Candidate {
+    weight: u64,
+    site: SiteId,
+    caller: FuncId,
+    callee: FuncId,
+}
+
+/// Runs the PIBE inliner over `module`.
+///
+/// `weights` carries per-site execution counts (lifted from the profile and
+/// extended by indirect call promotion — run ICP first); `profile` supplies
+/// function invocation counts for the constant-ratio heuristic.
+pub fn run_inliner(
+    module: &mut Module,
+    weights: &SiteWeights,
+    profile: &Profile,
+    config: &InlinerConfig,
+) -> InlinerStats {
+    let graph = CallGraph::build(module);
+    let mut stats = InlinerStats::default();
+
+    // Rule 1: collect and rank every direct call site.
+    let mut initial: Vec<(Candidate, u64)> = Vec::new();
+    for f in module.functions() {
+        for block in f.blocks() {
+            for inst in &block.insts {
+                if let Inst::Call { site, callee, .. } = inst {
+                    let w = weights.get(*site);
+                    stats.total_weight += w;
+                    stats.total_sites += 1;
+                    if w > 0 {
+                        stats.profiled_sites += 1;
+                    }
+                    initial.push((
+                        Candidate {
+                            weight: w,
+                            site: *site,
+                            caller: f.id(),
+                            callee: *callee,
+                        },
+                        w,
+                    ));
+                }
+            }
+        }
+    }
+
+    let selected = select_by_budget(&initial, config.budget);
+    stats.candidate_sites = selected.len() as u64;
+    stats.candidate_weight = selected.iter().map(|(_, w)| *w).sum();
+    // The coldest selected weight: propagated candidates below it are out of
+    // budget; sites at or above the lax floor are exempt from Rules 2-3 when
+    // lax mode is on.
+    let weight_floor = selected.last().map(|(_, w)| *w).unwrap_or(u64::MAX);
+    let lax_floor = if config.lax_heuristics {
+        let lax = select_by_budget(&initial, config.lax_budget);
+        lax.last().map(|(_, w)| *w).unwrap_or(u64::MAX)
+    } else {
+        u64::MAX
+    };
+
+    let mut heap: BinaryHeap<Candidate> = selected.into_iter().map(|(c, _)| c).collect();
+
+    while let Some(cand) = heap.pop() {
+        let caller_fn = module.function(cand.caller);
+        let callee_fn = module.function(cand.callee);
+
+        // "Other" inhibitors: recursion, attributes (Table 9).
+        let callee_attrs = callee_fn.attrs();
+        if cand.caller == cand.callee
+            || graph.is_recursive(cand.callee)
+            || callee_attrs.noinline
+            || callee_attrs.optnone
+            || callee_attrs.inline_asm
+            || caller_fn.attrs().optnone
+        {
+            stats.blocked_other_weight += cand.weight;
+            continue;
+        }
+
+        let exempt = cand.weight >= lax_floor;
+        let callee_cost = size::function_cost(callee_fn);
+        if !exempt {
+            // Rule 3: a heavyweight callee would deplete the caller's
+            // budget that many small hot callees could use.
+            if callee_cost > config.rule3_callee_limit {
+                stats.blocked_rule3_weight += cand.weight;
+                continue;
+            }
+            // Rule 2: bound the caller's post-inline complexity.
+            let caller_cost = size::function_cost(caller_fn);
+            if caller_cost.saturating_add(callee_cost) > config.rule2_caller_limit {
+                stats.blocked_rule2_weight += cand.weight;
+                continue;
+            }
+        }
+
+        match inline_call_site(module, cand.caller, cand.site) {
+            Ok(info) => {
+                stats.inlined_sites += 1;
+                stats.inlined_weight += cand.weight;
+                // Constant-ratio heuristic: the callee's sites, now in the
+                // caller, inherit scaled counts.
+                let invocations = profile.entry_count(cand.callee);
+                if invocations > 0 {
+                    let ratio = cand.weight as f64 / invocations as f64;
+                    for (s, c) in info.copied_direct_sites {
+                        let w = (weights.get(s) as f64 * ratio).round() as u64;
+                        if w >= weight_floor && w > 0 {
+                            stats.propagated_candidates += 1;
+                            // The eligible population grows as inlining
+                            // exposes copied sites (Table 9's "Ovr." rises
+                            // with the budget).
+                            stats.total_weight += w;
+                            stats.total_sites += 1;
+                            stats.profiled_sites += 1;
+                            heap.push(Candidate {
+                                weight: w,
+                                site: s,
+                                caller: cand.caller,
+                                callee: c,
+                            });
+                        }
+                    }
+                }
+            }
+            Err(InlineError::SelfInline { .. }) | Err(InlineError::SiteNotFound { .. }) => {
+                stats.blocked_other_weight += cand.weight;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_ir::{FnAttrs, FunctionBuilder, OpKind};
+
+    /// Builds a module with `sizes[i]` ops in callee i, all called from
+    /// `root`, and a profile giving site i the provided weight.
+    fn chain_module(callees: &[(usize, u64)]) -> (Module, Profile, Vec<SiteId>, FuncId) {
+        let mut m = Module::new("m");
+        let mut ids = Vec::new();
+        for (i, (ops, _)) in callees.iter().enumerate() {
+            let mut b = FunctionBuilder::new(format!("callee{i}"), 0);
+            b.ops(OpKind::Alu, *ops);
+            b.ret();
+            ids.push(m.add_function(b.build()));
+        }
+        let mut sites = Vec::new();
+        let mut b = FunctionBuilder::new("root", 0);
+        for id in &ids {
+            let s = m.fresh_site();
+            b.call(s, *id, 0);
+            sites.push(s);
+        }
+        b.ret();
+        let root = m.add_function(b.build());
+
+        let mut p = Profile::new();
+        for ((_, weight), (site, id)) in callees.iter().zip(sites.iter().zip(ids.iter())) {
+            for _ in 0..*weight {
+                p.record_direct(*site);
+                p.record_entry(*id);
+            }
+        }
+        (m, p, sites, root)
+    }
+
+    #[test]
+    fn hot_small_callees_are_inlined() {
+        let (mut m, p, _sites, root) = chain_module(&[(5, 100), (5, 100)]);
+        let w = SiteWeights::from_profile(&p);
+        let stats = run_inliner(&mut m, &w, &p, &InlinerConfig::default());
+        assert_eq!(stats.inlined_sites, 2);
+        assert_eq!(stats.inlined_weight, 200);
+        m.verify().unwrap();
+        assert_eq!(
+            m.function(root).return_sites(),
+            1,
+            "only root's own return remains on the path"
+        );
+        assert!(m
+            .function(root)
+            .iter_insts()
+            .all(|i| !matches!(i, Inst::Call { .. })));
+    }
+
+    #[test]
+    fn budget_excludes_cold_sites() {
+        // Hot site (10_000) and a very cold one (1): 99% budget covers only
+        // the hot one.
+        let (mut m, p, _sites, _root) = chain_module(&[(5, 10_000), (5, 1)]);
+        let w = SiteWeights::from_profile(&p);
+        let cfg = InlinerConfig {
+            budget: Budget::P99,
+            ..InlinerConfig::default()
+        };
+        let stats = run_inliner(&mut m, &w, &p, &cfg);
+        assert_eq!(stats.candidate_sites, 1);
+        assert_eq!(stats.inlined_sites, 1);
+        assert_eq!(stats.total_weight, 10_001);
+    }
+
+    #[test]
+    fn rule3_blocks_heavyweight_callees() {
+        // 700 ops * 5 = 3500 > 3000.
+        let (mut m, p, _sites, _root) = chain_module(&[(700, 100)]);
+        let w = SiteWeights::from_profile(&p);
+        let stats = run_inliner(&mut m, &w, &p, &InlinerConfig::default());
+        assert_eq!(stats.inlined_sites, 0);
+        assert_eq!(stats.blocked_rule3_weight, 100);
+        assert_eq!(stats.blocked_rule2_weight, 0);
+    }
+
+    #[test]
+    fn rule2_blocks_when_caller_budget_depletes() {
+        // Callees of 500 ops (cost 2505 < 3000 — Rule 3 passes). Five of
+        // them: after four, root's cost exceeds 12 000 and Rule 2 stops it.
+        let spec: Vec<(usize, u64)> = (0..5).map(|i| (500, 100 - i as u64)).collect();
+        let (mut m, p, _sites, _root) = chain_module(&spec);
+        let w = SiteWeights::from_profile(&p);
+        let stats = run_inliner(&mut m, &w, &p, &InlinerConfig::default());
+        assert!(stats.inlined_sites >= 3, "several callees fit");
+        assert!(stats.blocked_rule2_weight > 0, "the last ones do not");
+        assert_eq!(stats.blocked_rule3_weight, 0);
+    }
+
+    #[test]
+    fn figure1_rule3_preserves_budget_for_small_hot_callees() {
+        // Figure 1: bar calls foo_1 (cost ~12000, weight 1000),
+        // foo_2 (cost ~300, weight 500), foo_3 (cost ~200, weight 500).
+        // Without Rule 3, greedy would inline foo_1 first and deplete the
+        // budget; with Rule 3, foo_1 is skipped and both foo_2 and foo_3 fit.
+        let (mut m, p, _sites, _root) =
+            chain_module(&[(2400, 1000), (60, 500), (40, 500)]);
+        let w = SiteWeights::from_profile(&p);
+        let stats = run_inliner(&mut m, &w, &p, &InlinerConfig::default());
+        assert_eq!(stats.blocked_rule3_weight, 1000, "foo_1 skipped by Rule 3");
+        assert_eq!(stats.inlined_sites, 2, "foo_2 and foo_3 both inlined");
+        assert_eq!(stats.inlined_weight, 1000, "same weight elided as foo_1");
+    }
+
+    #[test]
+    fn lax_heuristics_disable_rules_for_the_hot_prefix() {
+        let (mut m, p, _sites, _root) = chain_module(&[(2400, 1000), (60, 500), (40, 500)]);
+        let w = SiteWeights::from_profile(&p);
+        let cfg = InlinerConfig {
+            lax_heuristics: true,
+            lax_budget: Budget::P99,
+            budget: Budget::P99_9999,
+            ..InlinerConfig::default()
+        };
+        let stats = run_inliner(&mut m, &w, &p, &cfg);
+        assert_eq!(stats.blocked_rule3_weight, 0, "rules disabled for hot sites");
+        assert_eq!(stats.inlined_sites, 3);
+    }
+
+    #[test]
+    fn noinline_and_recursion_are_blocked_as_other() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("stubborn", 0);
+        b.attrs(FnAttrs {
+            noinline: true,
+            ..FnAttrs::default()
+        });
+        b.ret();
+        let stubborn = m.add_function(b.build());
+        // Recursive function.
+        let mut b = FunctionBuilder::new("tmp", 0);
+        b.ret();
+        let rec = m.add_function(b.build());
+        let s_rec_self = m.fresh_site();
+        let mut b = FunctionBuilder::new("rec", 0);
+        b.call(s_rec_self, rec, 0);
+        b.ret();
+        m.replace_function(rec, b.build());
+
+        let s1 = m.fresh_site();
+        let s2 = m.fresh_site();
+        let mut b = FunctionBuilder::new("root", 0);
+        b.call(s1, stubborn, 0);
+        b.call(s2, rec, 0);
+        b.ret();
+        m.add_function(b.build());
+
+        let mut p = Profile::new();
+        for _ in 0..10 {
+            p.record_direct(s1);
+            p.record_direct(s2);
+            p.record_entry(stubborn);
+            p.record_entry(rec);
+        }
+        let w = SiteWeights::from_profile(&p);
+        let stats = run_inliner(&mut m, &w, &p, &InlinerConfig::default());
+        assert_eq!(stats.inlined_sites, 0);
+        // s1 (noinline) + s2 (recursive callee) + the recursive self-site
+        // s_rec_self carries weight 0 and is not selected.
+        assert_eq!(stats.blocked_other_weight, 20);
+    }
+
+    #[test]
+    fn propagation_collapses_hot_chains() {
+        // root -> mid -> leaf, all hot; inlining mid exposes leaf's site in
+        // root, which the constant-ratio heuristic then inlines too.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("leaf", 0);
+        b.ops(OpKind::Alu, 3);
+        b.ret();
+        let leaf = m.add_function(b.build());
+        let s_mid_leaf = m.fresh_site();
+        let mut b = FunctionBuilder::new("mid", 0);
+        b.ops(OpKind::Alu, 2);
+        b.call(s_mid_leaf, leaf, 0);
+        b.ret();
+        let mid = m.add_function(b.build());
+        let s_root_mid = m.fresh_site();
+        let mut b = FunctionBuilder::new("root", 0);
+        b.call(s_root_mid, mid, 0);
+        b.ret();
+        let root = m.add_function(b.build());
+
+        let mut p = Profile::new();
+        for _ in 0..100 {
+            p.record_direct(s_root_mid);
+            p.record_direct(s_mid_leaf);
+            p.record_entry(mid);
+            p.record_entry(leaf);
+        }
+        let w = SiteWeights::from_profile(&p);
+        let stats = run_inliner(&mut m, &w, &p, &InlinerConfig::default());
+        assert!(stats.propagated_candidates >= 1);
+        assert_eq!(stats.inlined_sites, 3, "mid into root, leaf into both");
+        m.verify().unwrap();
+        // root now contains everything: no calls on its path.
+        assert!(m
+            .function(root)
+            .iter_insts()
+            .all(|i| !matches!(i, Inst::Call { .. })));
+    }
+}

@@ -1,0 +1,210 @@
+//! Spectre V1 gadget analysis and selective fencing.
+//!
+//! The paper's threat model *excludes* Spectre V1 because "few conditional
+//! branches are suitable gadgets, and static analysis can identify and
+//! protect them efficiently" (§3, §6.1, citing the kernel's smatch-based
+//! checker). This module substantiates that claim on the synthetic kernel:
+//! a structural gadget finder locates Listing 3-shaped patterns — a
+//! data-dependent conditional branch whose guarded block immediately
+//! performs a dependent double load (`ptr = data[index]; value = *ptr`) —
+//! and fences exactly those, which costs a tiny fraction of fencing every
+//! conditional branch (the naive alternative).
+
+use pibe_ir::{BlockId, Cond, FuncId, Inst, Module, OpKind, Terminator};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One Listing 3-shaped gadget candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct V1Gadget {
+    /// Function containing the gadget.
+    pub func: FuncId,
+    /// Block whose conditional branch is the bounds check.
+    pub branch_block: BlockId,
+    /// Guarded block performing the dependent loads.
+    pub vulnerable_block: BlockId,
+}
+
+/// How many leading instructions of the guarded block the double-load
+/// pattern must fall within (the dependent load chain is short in real
+/// gadgets).
+const WINDOW: usize = 4;
+
+/// Finds Listing 3-shaped gadgets: a data-dependent conditional branch
+/// guarding a block that performs two loads within its first [`WINDOW`]
+/// instructions.
+pub fn find_v1_gadgets(module: &Module) -> Vec<V1Gadget> {
+    let mut out = Vec::new();
+    for f in module.functions() {
+        for (bid, block) in f.iter_blocks() {
+            let Terminator::Branch {
+                cond: Cond::Random { .. },
+                then_bb,
+                ..
+            } = &block.term
+            else {
+                continue;
+            };
+            let guarded = f.block(*then_bb);
+            let loads = guarded
+                .insts
+                .iter()
+                .take(WINDOW)
+                .filter(|i| matches!(i, Inst::Op(OpKind::Load)))
+                .count();
+            if loads >= 2 {
+                out.push(V1Gadget {
+                    func: f.id(),
+                    branch_block: bid,
+                    vulnerable_block: *then_bb,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// What a fencing pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FenceStats {
+    /// Fences inserted.
+    pub fences: u64,
+    /// Conditional branches inspected.
+    pub branches_seen: u64,
+}
+
+/// Fences exactly the given gadgets: an `lfence` at the head of each
+/// vulnerable block stops the out-of-bounds load from executing
+/// transiently. Blocks are fenced at most once.
+pub fn fence_gadgets(module: &mut Module, gadgets: &[V1Gadget]) -> FenceStats {
+    let mut seen: HashSet<(FuncId, BlockId)> = HashSet::new();
+    let mut stats = FenceStats::default();
+    for g in gadgets {
+        if !seen.insert((g.func, g.vulnerable_block)) {
+            continue;
+        }
+        let f = module.function_mut(g.func);
+        f.blocks_mut()[g.vulnerable_block.index()]
+            .insts
+            .insert(0, Inst::Op(OpKind::Fence));
+        stats.fences += 1;
+    }
+    stats
+}
+
+/// The naive alternative the paper's efficiency argument is made against:
+/// fence the taken successor of *every* data-dependent conditional branch.
+pub fn fence_all_conditionals(module: &mut Module) -> FenceStats {
+    let mut stats = FenceStats::default();
+    let mut targets: Vec<(FuncId, BlockId)> = Vec::new();
+    for f in module.functions() {
+        for block in f.blocks() {
+            if let Terminator::Branch {
+                cond: Cond::Random { .. },
+                then_bb,
+                ..
+            } = &block.term
+            {
+                stats.branches_seen += 1;
+                targets.push((f.id(), *then_bb));
+            }
+        }
+    }
+    let mut seen = HashSet::new();
+    for (func, bb) in targets {
+        if !seen.insert((func, bb)) {
+            continue;
+        }
+        module.function_mut(func).blocks_mut()[bb.index()]
+            .insts
+            .insert(0, Inst::Op(OpKind::Fence));
+        stats.fences += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_ir::FunctionBuilder;
+
+    /// One function with a real gadget, one with a harmless branch.
+    fn module() -> (Module, FuncId, FuncId) {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("gadget", 1);
+        let vuln = b.new_block();
+        let exit = b.new_block();
+        b.op(OpKind::Cmp); // index < size
+        b.branch(Cond::Random { ptaken_milli: 900 }, vuln, exit);
+        b.switch_to(vuln);
+        b.op(OpKind::Load); // ptr = data[index]
+        b.op(OpKind::Load); // value = *ptr
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret();
+        let gadget = m.add_function(b.build());
+
+        let mut b = FunctionBuilder::new("harmless", 1);
+        let t = b.new_block();
+        let exit = b.new_block();
+        b.op(OpKind::Cmp);
+        b.branch(Cond::Random { ptaken_milli: 500 }, t, exit);
+        b.switch_to(t);
+        b.op(OpKind::Alu); // no dependent loads
+        b.op(OpKind::Load);
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret();
+        let harmless = m.add_function(b.build());
+        (m, gadget, harmless)
+    }
+
+    #[test]
+    fn finds_only_double_load_gadgets() {
+        let (m, gadget, _) = module();
+        let found = find_v1_gadgets(&m);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].func, gadget);
+    }
+
+    #[test]
+    fn fencing_inserts_one_fence_per_gadget_block() {
+        let (mut m, gadget, _) = module();
+        let found = find_v1_gadgets(&m);
+        // Duplicate entries must not double-fence.
+        let doubled: Vec<_> = found.iter().chain(found.iter()).copied().collect();
+        let stats = fence_gadgets(&mut m, &doubled);
+        assert_eq!(stats.fences, 1);
+        m.verify().unwrap();
+        let vuln = &m.function(gadget).blocks()[1];
+        assert!(matches!(vuln.insts[0], Inst::Op(OpKind::Fence)));
+        // The fenced block no longer matches the gadget pattern head-on
+        // (the fence sits before the loads), but re-fencing stays idempotent
+        // through the dedup above either way.
+    }
+
+    #[test]
+    fn naive_fencing_touches_every_conditional() {
+        let (mut m, _, _) = module();
+        let stats = fence_all_conditionals(&mut m);
+        assert_eq!(stats.branches_seen, 2);
+        assert_eq!(stats.fences, 2);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn kernel_has_few_gadgets_relative_to_branches() {
+        use pibe_kernel::{Kernel, KernelSpec};
+        let k = Kernel::generate(KernelSpec::test());
+        let gadgets = find_v1_gadgets(&k.module);
+        let mut all = k.module.clone();
+        let naive = fence_all_conditionals(&mut all);
+        assert!(
+            (gadgets.len() as u64) < naive.branches_seen / 4,
+            "§3: few conditional branches are suitable gadgets \
+             ({} gadgets vs {} branches)",
+            gadgets.len(),
+            naive.branches_seen
+        );
+    }
+}

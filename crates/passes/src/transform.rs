@@ -1,0 +1,291 @@
+//! The mechanical inline transform: CFG splicing.
+
+use pibe_ir::{Block, BlockId, FuncId, Inst, Module, SiteId, Terminator};
+use std::fmt;
+
+/// What [`inline_call_site`] did: the identity of the elided call plus every
+/// call site that was copied from the callee into the caller (the inliner
+/// turns these into new candidates via the constant-ratio heuristic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlinedCall {
+    /// The function the callee was merged into.
+    pub caller: FuncId,
+    /// The function whose body was copied.
+    pub callee: FuncId,
+    /// The elided call site.
+    pub site: SiteId,
+    /// Direct call sites copied into the caller: `(site, callee)`.
+    pub copied_direct_sites: Vec<(SiteId, FuncId)>,
+    /// Indirect call sites copied into the caller.
+    pub copied_indirect_sites: Vec<SiteId>,
+}
+
+/// Failure of [`inline_call_site`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InlineError {
+    /// The caller contains no direct call with the given site id.
+    SiteNotFound {
+        /// The function searched.
+        caller: FuncId,
+        /// The site that was not found.
+        site: SiteId,
+    },
+    /// The call is a self-call; inlining it would not terminate.
+    SelfInline {
+        /// The self-calling function.
+        func: FuncId,
+    },
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::SiteNotFound { caller, site } => {
+                write!(f, "no direct call {site} in {caller}")
+            }
+            InlineError::SelfInline { func } => write!(f, "refusing to inline {func} into itself"),
+        }
+    }
+}
+
+impl std::error::Error for InlineError {}
+
+/// Inlines the first direct call with id `site` found in `caller`:
+/// the call instruction is replaced by the callee's CFG, the callee's
+/// returns become jumps to the split-off continuation, and the caller's
+/// stack frame grows by the callee's (stack slots of merged frames are
+/// *not* re-coloured — the inefficiency Rule 2 exists to bound, §5.2).
+///
+/// The caller's code size and complexity grow by construction; callers of
+/// this function (the inliner, the baselines) decide *whether* growing is
+/// worth it.
+///
+/// # Errors
+/// [`InlineError::SiteNotFound`] when `caller` has no direct call `site`;
+/// [`InlineError::SelfInline`] when the call target is `caller` itself.
+pub fn inline_call_site(
+    module: &mut Module,
+    caller: FuncId,
+    site: SiteId,
+) -> Result<InlinedCall, InlineError> {
+    // Locate the call.
+    let mut found: Option<(BlockId, usize, FuncId)> = None;
+    'outer: for (bid, block) in module.function(caller).iter_blocks() {
+        for (idx, inst) in block.insts.iter().enumerate() {
+            if let Inst::Call {
+                site: s, callee, ..
+            } = inst
+            {
+                if *s == site {
+                    found = Some((bid, idx, *callee));
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let (bid, idx, callee) = found.ok_or(InlineError::SiteNotFound { caller, site })?;
+    if callee == caller {
+        return Err(InlineError::SelfInline { func: caller });
+    }
+
+    // Snapshot the callee body and record the sites we are about to copy.
+    let callee_fn = module.function(callee).clone();
+    let mut copied_direct = Vec::new();
+    let mut copied_indirect = Vec::new();
+    for block in callee_fn.blocks() {
+        for inst in &block.insts {
+            match inst {
+                Inst::Call {
+                    site: s, callee: c, ..
+                } => copied_direct.push((*s, *c)),
+                Inst::CallIndirect { site: s, .. } => copied_indirect.push(*s),
+                _ => {}
+            }
+        }
+    }
+
+    let caller_fn = module.function_mut(caller);
+    let nblocks = caller_fn.blocks().len() as u32;
+    let cont_id = BlockId::from_raw(nblocks);
+    let entry_id = BlockId::from_raw(nblocks + 1);
+
+    // Split the calling block at the call instruction.
+    let blocks = caller_fn.blocks_mut();
+    let calling = &mut blocks[bid.index()];
+    let tail: Vec<Inst> = calling.insts.split_off(idx + 1);
+    calling.insts.pop(); // drop the call itself
+    let cont_term = std::mem::replace(
+        &mut calling.term,
+        Terminator::Jump { target: entry_id },
+    );
+    blocks.push(Block::new(tail, cont_term)); // continuation = cont_id
+
+    // Splice in the callee blocks: offset ids, redirect returns.
+    for cblock in callee_fn.blocks() {
+        let mut b = cblock.clone();
+        if b.term.is_return() {
+            b.term = Terminator::Jump { target: cont_id };
+        } else {
+            b.term
+                .map_successors(|s| BlockId::from_raw(s.index() as u32 + nblocks + 1));
+        }
+        blocks.push(b);
+    }
+
+    // Merged frames keep both allocations (no stack re-colouring).
+    let merged = caller_fn
+        .frame_bytes()
+        .saturating_add(callee_fn.frame_bytes());
+    caller_fn.set_frame_bytes(merged);
+
+    Ok(InlinedCall {
+        caller,
+        callee,
+        site,
+        copied_direct_sites: copied_direct,
+        copied_indirect_sites: copied_indirect,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_ir::{size, Cond, FunctionBuilder, OpKind};
+
+    /// callee(1) { alu; alu; ret }   caller() { mov; call callee; load; ret }
+    fn module() -> (Module, FuncId, FuncId, SiteId) {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("callee", 1);
+        b.frame_bytes(96);
+        b.ops(OpKind::Alu, 2);
+        b.ret();
+        let callee = m.add_function(b.build());
+        let site = m.fresh_site();
+        let mut b = FunctionBuilder::new("caller", 0);
+        b.frame_bytes(64);
+        b.op(OpKind::Mov);
+        b.call(site, callee, 1);
+        b.op(OpKind::Load);
+        b.ret();
+        let caller = m.add_function(b.build());
+        (m, caller, callee, site)
+    }
+
+    #[test]
+    fn inlining_splices_body_and_preserves_verification() {
+        let (mut m, caller, callee, site) = module();
+        let info = inline_call_site(&mut m, caller, site).unwrap();
+        assert_eq!(info.caller, caller);
+        assert_eq!(info.callee, callee);
+        assert!(info.copied_direct_sites.is_empty());
+        m.verify().unwrap();
+        // The caller no longer contains the call.
+        let f = m.function(caller);
+        assert!(f.iter_insts().all(|i| i.call_site() != Some(site)));
+        // Blocks: original, continuation, one callee block.
+        assert_eq!(f.blocks().len(), 3);
+        // All callee ops are now in the caller.
+        assert_eq!(f.inst_count(), 2 + 2);
+    }
+
+    #[test]
+    fn frames_merge_without_recolouring() {
+        let (mut m, caller, _callee, site) = module();
+        inline_call_site(&mut m, caller, site).unwrap();
+        assert_eq!(m.function(caller).frame_bytes(), 64 + 96);
+    }
+
+    #[test]
+    fn caller_cost_grows_by_roughly_callee_cost() {
+        let (mut m, caller, callee, site) = module();
+        let caller_before = size::function_cost(m.function(caller));
+        let callee_cost = size::function_cost(m.function(callee));
+        inline_call_site(&mut m, caller, site).unwrap();
+        let caller_after = size::function_cost(m.function(caller));
+        // The call inst (5 + 5*1) disappears; the body plus glue jumps appear.
+        assert!(caller_after > caller_before);
+        assert!(caller_after <= caller_before + callee_cost + 2 * size::STANDARD_INST_COST);
+    }
+
+    #[test]
+    fn multi_return_callee_rejoins_at_continuation() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("branchy", 0);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(Cond::Random { ptaken_milli: 500 }, t, e);
+        b.switch_to(t);
+        b.op(OpKind::Alu);
+        b.ret();
+        b.switch_to(e);
+        b.op(OpKind::Load);
+        b.ret();
+        let callee = m.add_function(b.build());
+        let site = m.fresh_site();
+        let mut b = FunctionBuilder::new("caller", 0);
+        b.call(site, callee, 0);
+        b.op(OpKind::Store);
+        b.ret();
+        let caller = m.add_function(b.build());
+
+        inline_call_site(&mut m, caller, site).unwrap();
+        m.verify().unwrap();
+        let f = m.function(caller);
+        // No Return from the callee body survives except the caller's own.
+        assert_eq!(f.return_sites(), 1);
+    }
+
+    #[test]
+    fn copied_sites_are_reported() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("leaf", 0);
+        b.ret();
+        let leaf = m.add_function(b.build());
+        let s_inner = m.fresh_site();
+        let s_ind = m.fresh_site();
+        let mut b = FunctionBuilder::new("mid", 0);
+        b.call(s_inner, leaf, 0);
+        b.call_indirect(s_ind, 0);
+        b.ret();
+        let mid = m.add_function(b.build());
+        let s_outer = m.fresh_site();
+        let mut b = FunctionBuilder::new("root", 0);
+        b.call(s_outer, mid, 0);
+        b.ret();
+        let root = m.add_function(b.build());
+
+        let info = inline_call_site(&mut m, root, s_outer).unwrap();
+        assert_eq!(info.copied_direct_sites, vec![(s_inner, leaf)]);
+        assert_eq!(info.copied_indirect_sites, vec![s_ind]);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn missing_site_is_an_error() {
+        let (mut m, caller, _callee, _site) = module();
+        let bogus = SiteId::from_raw(999);
+        assert_eq!(
+            inline_call_site(&mut m, caller, bogus),
+            Err(InlineError::SiteNotFound {
+                caller,
+                site: bogus
+            })
+        );
+    }
+
+    #[test]
+    fn self_inline_is_rejected() {
+        let mut m = Module::new("m");
+        // Build rec() with a self call (allowed structurally).
+        let mut b = FunctionBuilder::new("tmp", 0);
+        b.ret();
+        let rec = m.add_function(b.build());
+        let site = m.fresh_site();
+        let mut b = FunctionBuilder::new("rec", 0);
+        b.call(site, rec, 0);
+        b.ret();
+        m.replace_function(rec, b.build());
+        let err = inline_call_site(&mut m, rec, site).unwrap_err();
+        assert_eq!(err, InlineError::SelfInline { func: rec });
+    }
+}

@@ -1,0 +1,157 @@
+//! Optimization budgets: "a percentage of the cumulative execution count"
+//! (§5.2 Rule 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An optimization budget, expressed as a percentage of the cumulative
+/// execution count of the candidate population (e.g. `99.0`, `99.9`,
+/// `99.9999` — the paper's sweep points).
+///
+/// A budget of 99% "will attempt to \[optimize\] all of the hottest code that
+/// together represents 99% of the execution counts found while profiling."
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Budget(f64);
+
+/// Error constructing a [`Budget`] from an out-of-range percentage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetError(f64);
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "budget percentage {} not in (0, 100]", self.0)
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+impl Budget {
+    /// Creates a budget from a percentage in `(0, 100]`.
+    ///
+    /// # Errors
+    /// Returns [`BudgetError`] when `percent` is NaN or outside `(0, 100]`.
+    pub fn new(percent: f64) -> Result<Self, BudgetError> {
+        if percent.is_nan() || percent <= 0.0 || percent > 100.0 {
+            Err(BudgetError(percent))
+        } else {
+            Ok(Budget(percent))
+        }
+    }
+
+    /// The paper's 99% budget.
+    pub const P99: Budget = Budget(99.0);
+    /// The paper's 99.9% budget.
+    pub const P99_9: Budget = Budget(99.9);
+    /// The paper's 99.999% budget (Table 3's aggressive ICP point).
+    pub const P99_999: Budget = Budget(99.999);
+    /// The paper's 99.9999% budget (the near-total elision point).
+    pub const P99_9999: Budget = Budget(99.9999);
+
+    /// The percentage value.
+    pub fn percent(self) -> f64 {
+        self.0
+    }
+
+    /// The fraction in `(0, 1]`.
+    pub fn fraction(self) -> f64 {
+        self.0 / 100.0
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}%", self.0)
+    }
+}
+
+/// Greedily selects the hottest-first prefix of `candidates` whose cumulative
+/// weight covers `budget` percent of the total weight.
+///
+/// `candidates` may arrive in any order; the returned vector is sorted by
+/// descending weight (ties broken by the `Ord` on `T` for determinism) and
+/// contains the minimal prefix whose cumulative weight is `>=`
+/// `budget.fraction() * total_weight`. Zero-weight candidates are never
+/// selected.
+pub fn select_by_budget<T: Ord + Clone>(
+    candidates: &[(T, u64)],
+    budget: Budget,
+) -> Vec<(T, u64)> {
+    let total: u128 = candidates.iter().map(|(_, w)| u128::from(*w)).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<(T, u64)> = candidates.to_vec();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    // Work in exact integer space: the budget percentage is quantised to
+    // micro-percent (the paper's finest budget, 99.9999%, has exactly six
+    // decimal places), and the comparison
+    //   cumulative / total >= percent / 100
+    // becomes  cumulative * 10^8 >= total * micro_percent  in u128.
+    let micro_percent = (budget.percent() * 1e6).round() as u128;
+    let needed = total * micro_percent;
+    let mut cum: u128 = 0;
+    let mut out = Vec::new();
+    for (t, w) in sorted {
+        if w == 0 {
+            break;
+        }
+        if cum * 100_000_000 >= needed {
+            break;
+        }
+        cum += u128::from(w);
+        out.push((t, w));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_rejects_out_of_range() {
+        assert!(Budget::new(0.0).is_err());
+        assert!(Budget::new(-1.0).is_err());
+        assert!(Budget::new(100.5).is_err());
+        assert!(Budget::new(f64::NAN).is_err());
+        assert!(Budget::new(100.0).is_ok());
+        assert_eq!(Budget::P99.percent(), 99.0);
+        assert_eq!(Budget::new(50.0).unwrap().fraction(), 0.5);
+    }
+
+    #[test]
+    fn budget_error_displays_value() {
+        let e = Budget::new(0.0).unwrap_err();
+        assert!(e.to_string().contains('0'));
+    }
+
+    #[test]
+    fn selects_hottest_prefix_covering_budget() {
+        // Weights: 900, 90, 9, 1 (total 1000).
+        let cands = vec![("d", 1u64), ("a", 900), ("c", 9), ("b", 90)];
+        let sel = select_by_budget(&cands, Budget::new(90.0).unwrap());
+        assert_eq!(sel, vec![("a", 900)]);
+        let sel = select_by_budget(&cands, Budget::P99);
+        assert_eq!(sel, vec![("a", 900), ("b", 90)]);
+        let sel = select_by_budget(&cands, Budget::new(99.9).unwrap());
+        assert_eq!(sel, vec![("a", 900), ("b", 90), ("c", 9)]);
+        let sel = select_by_budget(&cands, Budget::new(100.0).unwrap());
+        assert_eq!(sel.len(), 4);
+    }
+
+    #[test]
+    fn zero_weights_are_never_selected() {
+        let cands = vec![("a", 10u64), ("b", 0)];
+        let sel = select_by_budget(&cands, Budget::new(100.0).unwrap());
+        assert_eq!(sel, vec![("a", 10)]);
+        assert!(select_by_budget::<&str>(&[], Budget::P99).is_empty());
+        assert!(select_by_budget(&[("a", 0u64)], Budget::P99).is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let cands = vec![("b", 5u64), ("a", 5)];
+        let sel = select_by_budget(&cands, Budget::new(50.0).unwrap());
+        assert_eq!(sel, vec![("a", 5)]);
+    }
+}

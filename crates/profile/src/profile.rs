@@ -1,0 +1,347 @@
+//! The profile data structure.
+
+use pibe_ir::{FuncId, SiteId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One `(target, count)` tuple of an indirect call site's value profile —
+/// §7: "For indirect sites, which may target multiple functions, we attach
+/// value profile metadata represented by a list of (target name, execution
+/// count) tuples."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueProfileEntry {
+    /// The observed target function.
+    pub target: FuncId,
+    /// How many times this site called this target.
+    pub count: u64,
+}
+
+/// Execution statistics for a whole program, keyed by stable [`SiteId`]s so
+/// the profile survives code transformation (the paper's IR lifting, §7).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profile {
+    direct: HashMap<SiteId, u64>,
+    indirect: HashMap<SiteId, Vec<ValueProfileEntry>>,
+    entries: HashMap<FuncId, u64>,
+    returns: HashMap<FuncId, u64>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one execution of the direct call at `site`.
+    pub fn record_direct(&mut self, site: SiteId) {
+        *self.direct.entry(site).or_insert(0) += 1;
+    }
+
+    /// Records one execution of the indirect call at `site` resolving to
+    /// `target`.
+    ///
+    /// Entries are kept sorted by target so the in-memory representation is
+    /// canonical — a profile equals its serialization round trip.
+    pub fn record_indirect(&mut self, site: SiteId, target: FuncId) {
+        let entries = self.indirect.entry(site).or_default();
+        match entries.binary_search_by_key(&target, |e| e.target) {
+            Ok(i) => entries[i].count += 1,
+            Err(i) => entries.insert(i, ValueProfileEntry { target, count: 1 }),
+        }
+    }
+
+    /// Records one invocation of `func`.
+    pub fn record_entry(&mut self, func: FuncId) {
+        *self.entries.entry(func).or_insert(0) += 1;
+    }
+
+    /// Records one executed return from `func`.
+    pub fn record_return(&mut self, func: FuncId) {
+        *self.returns.entry(func).or_insert(0) += 1;
+    }
+
+    /// Execution count of a direct call site (0 when never seen).
+    pub fn direct_count(&self, site: SiteId) -> u64 {
+        self.direct.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Value profile of an indirect call site, sorted hottest-first.
+    pub fn value_profile(&self, site: SiteId) -> Vec<ValueProfileEntry> {
+        let mut v = self.indirect.get(&site).cloned().unwrap_or_default();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.target.cmp(&b.target)));
+        v
+    }
+
+    /// Total execution count of an indirect call site across all targets.
+    pub fn indirect_count(&self, site: SiteId) -> u64 {
+        self.indirect
+            .get(&site)
+            .map(|v| v.iter().map(|e| e.count).sum())
+            .unwrap_or(0)
+    }
+
+    /// Invocation count of a function (0 when never seen).
+    pub fn entry_count(&self, func: FuncId) -> u64 {
+        self.entries.get(&func).copied().unwrap_or(0)
+    }
+
+    /// Executed-return count of a function (0 when never seen).
+    pub fn return_count(&self, func: FuncId) -> u64 {
+        self.returns.get(&func).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(site, count)` for all profiled direct call sites.
+    pub fn iter_direct(&self) -> impl Iterator<Item = (SiteId, u64)> + '_ {
+        self.direct.iter().map(|(s, c)| (*s, *c))
+    }
+
+    /// Iterates over `(site, value_profile)` for all profiled indirect call
+    /// sites.
+    pub fn iter_indirect(&self) -> impl Iterator<Item = (SiteId, &[ValueProfileEntry])> + '_ {
+        self.indirect.iter().map(|(s, v)| (*s, v.as_slice()))
+    }
+
+    /// Merges `other` into `self` by summing counts — how the paper
+    /// aggregates "all edge execution counts observed across all 11
+    /// iterations" (§8).
+    pub fn merge(&mut self, other: &Profile) {
+        for (s, c) in &other.direct {
+            *self.direct.entry(*s).or_insert(0) += c;
+        }
+        for (s, entries) in &other.indirect {
+            let mine = self.indirect.entry(*s).or_default();
+            for e in entries {
+                match mine.binary_search_by_key(&e.target, |m| m.target) {
+                    Ok(i) => mine[i].count += e.count,
+                    Err(i) => mine.insert(i, *e),
+                }
+            }
+        }
+        for (f, c) in &other.entries {
+            *self.entries.entry(*f).or_insert(0) += c;
+        }
+        for (f, c) in &other.returns {
+            *self.returns.entry(*f).or_insert(0) += c;
+        }
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> ProfileStats {
+        ProfileStats {
+            direct_sites: self.direct.len() as u64,
+            indirect_sites: self.indirect.len() as u64,
+            indirect_targets: self.indirect.values().map(|v| v.len() as u64).sum(),
+            direct_weight: self.direct.values().sum(),
+            indirect_weight: self
+                .indirect
+                .values()
+                .flat_map(|v| v.iter().map(|e| e.count))
+                .sum(),
+            return_weight: self.returns.values().sum(),
+        }
+    }
+
+    /// Distribution of indirect call sites by number of distinct observed
+    /// targets: index 0 holds the count of 1-target sites, … index 5 of
+    /// 6-target sites, index 6 of >6-target sites (the paper's Table 4).
+    pub fn target_multiplicity_histogram(&self) -> [u64; 7] {
+        let mut hist = [0u64; 7];
+        for entries in self.indirect.values() {
+            let n = entries.len();
+            if n == 0 {
+                continue;
+            }
+            let bucket = if n > 6 { 6 } else { n - 1 };
+            hist[bucket] += 1;
+        }
+        hist
+    }
+
+    /// Serializes to pretty JSON (the artifact stores profiles as files the
+    /// optimization run reads back).
+    pub fn to_json(&self) -> String {
+        // Hash maps with non-string keys need a stable, portable encoding:
+        // emit sorted association lists.
+        serde_json::to_string_pretty(&PortableProfile::from(self))
+            .expect("profile serialization cannot fail")
+    }
+
+    /// Parses a profile previously produced by [`Profile::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying `serde_json` error when the input is not a
+    /// valid profile document.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str::<PortableProfile>(s).map(Into::into)
+    }
+}
+
+/// Stable on-disk representation (sorted association lists).
+#[derive(Serialize, Deserialize)]
+struct PortableProfile {
+    direct: Vec<(SiteId, u64)>,
+    indirect: Vec<(SiteId, Vec<ValueProfileEntry>)>,
+    entries: Vec<(FuncId, u64)>,
+    returns: Vec<(FuncId, u64)>,
+}
+
+impl From<&Profile> for PortableProfile {
+    fn from(p: &Profile) -> Self {
+        let mut direct: Vec<_> = p.direct.iter().map(|(s, c)| (*s, *c)).collect();
+        direct.sort_by_key(|(s, _)| *s);
+        let mut indirect: Vec<_> = p
+            .indirect
+            .iter()
+            .map(|(s, v)| {
+                let mut v = v.clone();
+                v.sort_by_key(|e| e.target);
+                (*s, v)
+            })
+            .collect();
+        indirect.sort_by_key(|(s, _)| *s);
+        let mut entries: Vec<_> = p.entries.iter().map(|(f, c)| (*f, *c)).collect();
+        entries.sort_by_key(|(f, _)| *f);
+        let mut returns: Vec<_> = p.returns.iter().map(|(f, c)| (*f, *c)).collect();
+        returns.sort_by_key(|(f, _)| *f);
+        PortableProfile {
+            direct,
+            indirect,
+            entries,
+            returns,
+        }
+    }
+}
+
+impl From<PortableProfile> for Profile {
+    fn from(p: PortableProfile) -> Self {
+        Profile {
+            direct: p.direct.into_iter().collect(),
+            indirect: p.indirect.into_iter().collect(),
+            entries: p.entries.into_iter().collect(),
+            returns: p.returns.into_iter().collect(),
+        }
+    }
+}
+
+/// Aggregate statistics over a [`Profile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileStats {
+    /// Number of distinct direct call sites observed.
+    pub direct_sites: u64,
+    /// Number of distinct indirect call sites observed.
+    pub indirect_sites: u64,
+    /// Total distinct `(site, target)` pairs observed.
+    pub indirect_targets: u64,
+    /// Sum of direct call counts.
+    pub direct_weight: u64,
+    /// Sum of indirect call counts.
+    pub indirect_weight: u64,
+    /// Sum of executed returns.
+    pub return_weight: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(n: u64) -> SiteId {
+        SiteId::from_raw(n)
+    }
+    fn func(n: u32) -> FuncId {
+        FuncId::from_raw(n)
+    }
+
+    #[test]
+    fn direct_counts_accumulate() {
+        let mut p = Profile::new();
+        p.record_direct(site(1));
+        p.record_direct(site(1));
+        p.record_direct(site(2));
+        assert_eq!(p.direct_count(site(1)), 2);
+        assert_eq!(p.direct_count(site(2)), 1);
+        assert_eq!(p.direct_count(site(3)), 0);
+    }
+
+    #[test]
+    fn value_profile_sorts_hottest_first() {
+        let mut p = Profile::new();
+        for _ in 0..3 {
+            p.record_indirect(site(1), func(10));
+        }
+        p.record_indirect(site(1), func(20));
+        let vp = p.value_profile(site(1));
+        assert_eq!(vp.len(), 2);
+        assert_eq!(vp[0].target, func(10));
+        assert_eq!(vp[0].count, 3);
+        assert_eq!(p.indirect_count(site(1)), 4);
+    }
+
+    #[test]
+    fn merge_sums_counts_across_runs() {
+        let mut a = Profile::new();
+        a.record_direct(site(1));
+        a.record_indirect(site(2), func(1));
+        a.record_entry(func(1));
+        a.record_return(func(1));
+        let mut b = Profile::new();
+        b.record_direct(site(1));
+        b.record_indirect(site(2), func(1));
+        b.record_indirect(site(2), func(2));
+        a.merge(&b);
+        assert_eq!(a.direct_count(site(1)), 2);
+        assert_eq!(a.indirect_count(site(2)), 3);
+        assert_eq!(a.value_profile(site(2)).len(), 2);
+        assert_eq!(a.entry_count(func(1)), 1);
+        assert_eq!(a.return_count(func(1)), 1);
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let mut p = Profile::new();
+        p.record_direct(site(9));
+        p.record_indirect(site(3), func(4));
+        p.record_entry(func(4));
+        p.record_return(func(4));
+        let json = p.to_json();
+        let back = Profile::from_json(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Profile::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn multiplicity_histogram_buckets_correctly() {
+        let mut p = Profile::new();
+        // site 1: 1 target, site 2: 2 targets, site 3: 8 targets.
+        p.record_indirect(site(1), func(0));
+        p.record_indirect(site(2), func(0));
+        p.record_indirect(site(2), func(1));
+        for t in 0..8 {
+            p.record_indirect(site(3), func(t));
+        }
+        let h = p.target_multiplicity_histogram();
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[6], 1);
+        assert_eq!(h[2] + h[3] + h[4] + h[5], 0);
+    }
+
+    #[test]
+    fn stats_aggregate_all_dimensions() {
+        let mut p = Profile::new();
+        p.record_direct(site(1));
+        p.record_direct(site(1));
+        p.record_indirect(site(2), func(1));
+        p.record_return(func(1));
+        let s = p.stats();
+        assert_eq!(s.direct_sites, 1);
+        assert_eq!(s.direct_weight, 2);
+        assert_eq!(s.indirect_sites, 1);
+        assert_eq!(s.indirect_targets, 1);
+        assert_eq!(s.indirect_weight, 1);
+        assert_eq!(s.return_weight, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Dynamic attack-surface accounting.
+//!
+//! While the static audit ([`pibe_harden::audit()`]) classifies branch *sites*,
+//! this module counts branch *executions* an attacker could have hijacked:
+//! each executed indirect branch is checked against the active defenses and
+//! the attack it would be exposed to (§6):
+//!
+//! * **Spectre V2 / BTB poisoning** — any executed indirect call or jump not
+//!   routed through a retpoline (inline-asm sites are never routed);
+//! * **Ret2spec / RSB poisoning** — any executed return not converted to a
+//!   return retpoline (plain RSB refilling does not count as protection,
+//!   §6.4);
+//! * **LVI** — any indirect control transfer whose target load is not
+//!   fenced.
+//!
+//! Tests across the workspace assert the paper's security claim: a fully
+//! hardened image shows zero hijackable executions apart from the
+//! inline-assembly paravirt sites.
+
+use pibe_harden::DefenseSet;
+use serde::{Deserialize, Serialize};
+
+/// Counts of attacker-hijackable dynamic branch executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackReport {
+    /// Indirect-call executions exposed to BTB poisoning (Spectre V2).
+    pub btb_hijackable_icalls: u64,
+    /// Indirect-jump executions exposed to BTB poisoning.
+    pub btb_hijackable_ijumps: u64,
+    /// Indirect-call executions protected by eIBRS against *cross-domain*
+    /// training but still hijackable by an attacker who trains the BTB from
+    /// within the kernel domain — the limitation §6.4 notes ("does not
+    /// prevent attacks that train on kernel execution").
+    pub btb_kernel_trained_icalls: u64,
+    /// Return executions exposed to RSB poisoning (Ret2spec).
+    pub rsb_hijackable_rets: u64,
+    /// Indirect control transfers exposed to load value injection.
+    pub lvi_injectable: u64,
+}
+
+impl AttackReport {
+    /// True when no observed execution was hijackable.
+    pub fn is_clean(&self) -> bool {
+        *self == AttackReport::default()
+    }
+
+    /// Total hijackable executions across attack classes (kernel-domain
+    /// training counts: eIBRS narrows the attacker model but does not close
+    /// it).
+    pub fn total(&self) -> u64 {
+        self.btb_hijackable_icalls
+            + self.btb_kernel_trained_icalls
+            + self.btb_hijackable_ijumps
+            + self.rsb_hijackable_rets
+            + self.lvi_injectable
+    }
+
+    /// Records one executed indirect call. `asm` marks inline-assembly
+    /// sites the compiler could not instrument; `jumpswitch` marks sites
+    /// protected by the JumpSwitches runtime mechanism (whose fallback is a
+    /// retpoline, so Spectre V2 is covered, but nothing fences the target
+    /// load, so LVI is not).
+    pub fn observe_icall(&mut self, defenses: DefenseSet, asm: bool, jumpswitch: bool) {
+        self.observe_icall_with(defenses, asm, jumpswitch, false)
+    }
+
+    /// [`AttackReport::observe_icall`] with the eIBRS hardware mitigation
+    /// modelled: cross-domain (userspace-trained) BTB poisoning is blocked,
+    /// but same-domain training remains possible (§6.4), counted in
+    /// [`AttackReport::btb_kernel_trained_icalls`].
+    pub fn observe_icall_with(
+        &mut self,
+        defenses: DefenseSet,
+        asm: bool,
+        jumpswitch: bool,
+        eibrs: bool,
+    ) {
+        if asm {
+            self.btb_hijackable_icalls += 1;
+            self.lvi_injectable += 1;
+            return;
+        }
+        let spectre_v2_safe = defenses.retpolines || jumpswitch;
+        if !spectre_v2_safe {
+            if eibrs {
+                self.btb_kernel_trained_icalls += 1;
+            } else {
+                self.btb_hijackable_icalls += 1;
+            }
+        }
+        if !defenses.lvi_cfi {
+            self.lvi_injectable += 1;
+        }
+    }
+
+    /// Records one executed indirect jump (always table-lowered, always
+    /// BTB-predicted, never instrumentable — §8.6's residual 5 ijumps).
+    pub fn observe_ijump(&mut self) {
+        self.btb_hijackable_ijumps += 1;
+    }
+
+    /// Records one executed return. `rsb_refill` marks the kernel's
+    /// RSB-stuffing mitigation; `rsb_overflowed` whether the RSB overflowed
+    /// since kernel entry. Refilling blocks userspace-poisoned entries, but
+    /// once the RSB has overflowed inside the kernel the return can again
+    /// misspeculate attacker-influencable state — "other RSB exploitation
+    /// scenarios are still possible under RSB refilling. Conversely, return
+    /// retpolines defend against all known RSB poisoning scenarios" (§6.4).
+    pub fn observe_return(&mut self, defenses: DefenseSet, rsb_refill: bool, rsb_overflowed: bool) {
+        if !defenses.ret_retpolines && (!rsb_refill || rsb_overflowed) {
+            self.rsb_hijackable_rets += 1;
+        }
+        if !defenses.lvi_cfi {
+            self.lvi_injectable += 1;
+        }
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &AttackReport) {
+        self.btb_hijackable_icalls += other.btb_hijackable_icalls;
+        self.btb_kernel_trained_icalls += other.btb_kernel_trained_icalls;
+        self.btb_hijackable_ijumps += other.btb_hijackable_ijumps;
+        self.rsb_hijackable_rets += other.rsb_hijackable_rets;
+        self.lvi_injectable += other.lvi_injectable;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_hardened_non_asm_branches_are_clean() {
+        let mut r = AttackReport::default();
+        r.observe_icall(DefenseSet::ALL, false, false);
+        r.observe_return(DefenseSet::ALL, false, false);
+        assert!(r.is_clean());
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn asm_sites_are_hijackable_even_under_full_defense() {
+        let mut r = AttackReport::default();
+        r.observe_icall(DefenseSet::ALL, true, false);
+        assert_eq!(r.btb_hijackable_icalls, 1);
+        assert_eq!(r.lvi_injectable, 1);
+    }
+
+    #[test]
+    fn partial_defenses_leave_their_complement_exposed() {
+        let mut r = AttackReport::default();
+        r.observe_icall(DefenseSet::RETPOLINES, false, false);
+        assert_eq!(r.btb_hijackable_icalls, 0);
+        assert_eq!(r.lvi_injectable, 1, "retpoline does not fence loads");
+
+        let mut r = AttackReport::default();
+        r.observe_return(DefenseSet::LVI_CFI, false, false);
+        assert_eq!(r.rsb_hijackable_rets, 1, "lfence does not fix the RSB");
+        assert_eq!(r.lvi_injectable, 0);
+    }
+
+    #[test]
+    fn jumpswitch_covers_spectre_v2_but_not_lvi() {
+        let mut r = AttackReport::default();
+        r.observe_icall(DefenseSet::NONE, false, true);
+        assert_eq!(r.btb_hijackable_icalls, 0);
+        assert_eq!(r.lvi_injectable, 1);
+    }
+
+    #[test]
+    fn rsb_refilling_helps_only_until_overflow() {
+        let mut r = AttackReport::default();
+        r.observe_return(DefenseSet::NONE, true, false);
+        assert_eq!(r.rsb_hijackable_rets, 0, "refilled, no overflow: safe");
+        r.observe_return(DefenseSet::NONE, true, true);
+        assert_eq!(r.rsb_hijackable_rets, 1, "overflowed: hijackable again");
+        // Return retpolines protect regardless of RSB state.
+        r.observe_return(DefenseSet::RET_RETPOLINES, false, true);
+        assert_eq!(r.rsb_hijackable_rets, 1);
+    }
+
+    #[test]
+    fn eibrs_narrows_but_does_not_close_spectre_v2() {
+        let mut r = AttackReport::default();
+        r.observe_icall_with(DefenseSet::NONE, false, false, true);
+        assert_eq!(r.btb_hijackable_icalls, 0, "cross-domain training blocked");
+        assert_eq!(r.btb_kernel_trained_icalls, 1, "same-domain training remains");
+        // Retpolines subsume eIBRS entirely.
+        let mut r = AttackReport::default();
+        r.observe_icall_with(DefenseSet::RETPOLINES, false, false, true);
+        assert_eq!(r.total() - r.lvi_injectable, 0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = AttackReport {
+            btb_hijackable_icalls: 1,
+            btb_kernel_trained_icalls: 5,
+            btb_hijackable_ijumps: 2,
+            rsb_hijackable_rets: 3,
+            lvi_injectable: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 30);
+    }
+}

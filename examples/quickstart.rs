@@ -1,0 +1,138 @@
+//! Quickstart: PIBE on a 5-function toy program.
+//!
+//! Builds a little module with an indirect dispatch and a hot helper,
+//! profiles it, runs the PIBE pipeline (indirect call promotion → security
+//! inlining → hardening), and shows what changed.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pibe::{build_image, PibeConfig};
+use pibe_harden::DefenseSet;
+use pibe_ir::{FuncId, FunctionBuilder, Module, OpKind, SiteId};
+use pibe_profile::{Budget, Profile};
+use pibe_sim::{MapResolver, SimConfig, Simulator};
+
+fn main() {
+    // -- 1. Build a program: main() dispatches through a function pointer
+    //       to fast_path()/slow_path(), each calling a helper.
+    let mut module = Module::new("quickstart");
+    let mut b = FunctionBuilder::new("helper", 1);
+    b.ops(OpKind::Alu, 4);
+    b.ret();
+    let helper = module.add_function(b.build());
+
+    let mut paths = Vec::new();
+    for name in ["fast_path", "slow_path"] {
+        let site = module.fresh_site();
+        let mut b = FunctionBuilder::new(name, 1);
+        b.ops(OpKind::Load, 2);
+        b.call(site, helper, 1);
+        b.ret();
+        paths.push(module.add_function(b.build()));
+    }
+
+    let dispatch_site = module.fresh_site();
+    let mut b = FunctionBuilder::new("main", 0);
+    b.op(OpKind::Mov);
+    b.call_indirect(dispatch_site, 1);
+    b.ret();
+    let main_fn = module.add_function(b.build());
+    module.verify().expect("hand-built module is valid");
+    println!("== original program ==\n{module}");
+
+    // -- 2. Profile it: fast_path dominates 9:1.
+    let profile = run_profiling(&module, main_fn, dispatch_site, &paths);
+    println!(
+        "profiled {} indirect calls at the dispatch site",
+        profile.indirect_count(dispatch_site)
+    );
+
+    // -- 3. The PIBE pipeline: promote + inline at a 99.9% budget, then
+    //       harden everything that remains with all three defenses.
+    let image = build_image(
+        &module,
+        &profile,
+        &PibeConfig::full(Budget::P99_9, DefenseSet::ALL),
+    );
+    println!("\n== after PIBE ==\n{}", image.module);
+    let icp = image.icp_stats.expect("icp ran");
+    let inl = image.inline_stats.expect("inliner ran");
+    println!(
+        "promoted {} targets at {} site(s); inlined {} call site(s)",
+        icp.promoted_targets, icp.promoted_sites, inl.inlined_sites
+    );
+    println!(
+        "audit: {} protected icalls, {} protected returns, {} vulnerable",
+        image.audit.protected_icalls,
+        image.audit.protected_returns,
+        image.audit.vulnerable_icalls
+    );
+
+    // -- 4. Measure: hardened-unoptimized vs hardened-PIBE.
+    let baseline = measure(&module, main_fn, dispatch_site, &paths, DefenseSet::NONE);
+    let hard_unopt = measure(&module, main_fn, dispatch_site, &paths, DefenseSet::ALL);
+    let hard_pibe = measure(
+        &image.module,
+        main_fn,
+        dispatch_site,
+        &paths,
+        DefenseSet::ALL,
+    );
+    println!("\ncycles per invocation (warm):");
+    println!("  undefended            {baseline:>6.1}");
+    println!(
+        "  all defenses          {hard_unopt:>6.1}  (+{:.0}%)",
+        (hard_unopt - baseline) / baseline * 100.0
+    );
+    println!(
+        "  all defenses + PIBE   {hard_pibe:>6.1}  (+{:.0}%)",
+        (hard_pibe - baseline) / baseline * 100.0
+    );
+}
+
+fn resolver(site: SiteId, paths: &[FuncId]) -> MapResolver {
+    let mut r = MapResolver::new();
+    r.insert(site, vec![(paths[0], 9), (paths[1], 1)]);
+    r
+}
+
+fn run_profiling(
+    module: &Module,
+    main_fn: FuncId,
+    site: SiteId,
+    paths: &[FuncId],
+) -> Profile {
+    let cfg = SimConfig {
+        collect_profile: true,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(module, resolver(site, paths), 42, cfg);
+    for _ in 0..1000 {
+        sim.call_entry(main_fn).expect("profiling run succeeds");
+    }
+    sim.take_profile()
+}
+
+fn measure(
+    module: &Module,
+    main_fn: FuncId,
+    site: SiteId,
+    paths: &[FuncId],
+    defenses: DefenseSet,
+) -> f64 {
+    let cfg = SimConfig {
+        defenses,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(module, resolver(site, paths), 42, cfg);
+    for _ in 0..100 {
+        sim.call_entry(main_fn).expect("warmup succeeds");
+    }
+    let mut total = 0;
+    for _ in 0..400 {
+        total += sim.call_entry(main_fn).expect("measurement succeeds");
+    }
+    total as f64 / 400.0
+}

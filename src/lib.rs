@@ -1,0 +1,26 @@
+//! Umbrella crate for the PIBE reproduction workspace.
+//!
+//! Re-exports every member crate under a short name so examples and
+//! downstream users can depend on one package:
+//!
+//! * [`ir`] — the compiler IR substrate;
+//! * [`profile`] — execution profiles and optimization budgets;
+//! * [`sim`] — the cycle-cost simulator and attack accounting;
+//! * [`harden`] — transient-execution defenses and the security audit;
+//! * [`passes`] — indirect call promotion, the PIBE inliner, DCE, and the
+//!   Spectre V1 analysis;
+//! * [`kernel`] — the synthetic kernel and its workloads;
+//! * [`baselines`] — JumpSwitches and the default-LLVM-style inliner;
+//! * [`pipeline`] — the end-to-end pipeline and every paper experiment.
+//!
+//! Start with the `quickstart` example (`cargo run --example quickstart`)
+//! or the repository README.
+
+pub use pibe as pipeline;
+pub use pibe_baselines as baselines;
+pub use pibe_harden as harden;
+pub use pibe_ir as ir;
+pub use pibe_kernel as kernel;
+pub use pibe_passes as passes;
+pub use pibe_profile as profile;
+pub use pibe_sim as sim;

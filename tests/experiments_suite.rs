@@ -1,0 +1,84 @@
+//! Every experiment harness must run end-to-end on one shared lab and
+//! produce a structurally well-formed table — the regression net for the
+//! `tables` binary's wiring.
+
+use pibe::experiments::{self, Lab};
+use pibe::report::Table;
+use std::sync::OnceLock;
+
+fn lab() -> &'static Lab {
+    static LAB: OnceLock<Lab> = OnceLock::new();
+    LAB.get_or_init(Lab::test)
+}
+
+fn assert_well_formed(t: &Table, min_rows: usize) {
+    assert!(!t.title.is_empty());
+    assert!(t.headers.len() >= 2, "{}: too few columns", t.title);
+    assert!(
+        t.rows.len() >= min_rows,
+        "{}: expected at least {min_rows} rows, got {}",
+        t.title,
+        t.rows.len()
+    );
+    for row in &t.rows {
+        assert_eq!(row.len(), t.headers.len(), "{}: ragged row", t.title);
+        assert!(row.iter().all(|c| !c.is_empty()), "{}: empty cell", t.title);
+    }
+    // Rendering must not panic and must contain the title.
+    assert!(t.to_string().contains(&t.title));
+}
+
+#[test]
+fn table1_and_figure1_need_no_lab() {
+    assert_well_formed(&experiments::table1(), 9);
+    assert_well_formed(&experiments::figure1(), 4);
+}
+
+#[test]
+fn lmbench_tables_are_well_formed() {
+    assert_well_formed(&experiments::table2(lab()), 21);
+    assert_well_formed(&experiments::table3(lab()), 13);
+    assert_well_formed(&experiments::table4(lab()), 1);
+    assert_well_formed(&experiments::table5(lab()), 21);
+    assert_well_formed(&experiments::table6(lab()), 5);
+}
+
+#[test]
+fn macro_table_is_well_formed() {
+    assert_well_formed(&experiments::table7(lab(), 6), 12);
+}
+
+#[test]
+fn security_tables_are_well_formed() {
+    assert_well_formed(&experiments::table8(lab()), 3);
+    assert_well_formed(&experiments::table9(lab()), 3);
+    assert_well_formed(&experiments::table10(lab()), 2);
+    assert_well_formed(&experiments::table11(lab()), 3);
+    assert_well_formed(&experiments::table12(lab()), 8);
+}
+
+#[test]
+fn extension_experiments_are_well_formed() {
+    let (t, _) = experiments::robustness(lab(), 10);
+    assert_well_formed(&t, 6);
+    let (t, _) = experiments::rsb_refill_comparison(lab());
+    assert_well_formed(&t, 4);
+    let (t, _) = experiments::eibrs_comparison(lab());
+    assert_well_formed(&t, 4);
+    let (t, _) = experiments::cycle_breakdown(lab());
+    assert_well_formed(&t, 4);
+    let (t, _) = experiments::spectre_v1_fencing(lab());
+    assert_well_formed(&t, 4);
+    let (t, _) = experiments::userspace(100);
+    assert_well_formed(&t, 2);
+    let (t, _) = experiments::profiling_convergence(lab());
+    assert_well_formed(&t, 4);
+}
+
+#[test]
+fn tables_serialize_to_json() {
+    let t = experiments::table1();
+    let json = serde_json::to_string(&t).expect("tables serialize");
+    let back: Table = serde_json::from_str(&json).expect("tables deserialize");
+    assert_eq!(t, back);
+}

@@ -198,8 +198,7 @@ mod tests {
         b.ret();
         let root = m.add_function(b.build());
 
-        let stats =
-            run_llvm_inliner(&mut m, &SiteWeights::new(), &LlvmInlinerConfig::default());
+        let stats = run_llvm_inliner(&mut m, &SiteWeights::new(), &LlvmInlinerConfig::default());
         assert_eq!(stats.inlined_sites, 2);
         assert!(m
             .function(root)

@@ -15,9 +15,7 @@ use pibe::experiments::Lab;
 use pibe::{eval, PibeConfig};
 use pibe_baselines::{run_llvm_inliner, LlvmInlinerConfig};
 use pibe_harden::DefenseSet;
-use pibe_passes::{
-    promote_indirect_calls, run_inliner, IcpConfig, InlinerConfig, SiteWeights,
-};
+use pibe_passes::{promote_indirect_calls, run_inliner, IcpConfig, InlinerConfig, SiteWeights};
 use pibe_profile::Budget;
 use pibe_sim::SimConfig;
 
@@ -125,7 +123,10 @@ fn ablation_icp_cap(c: &mut Criterion, lab: &Lab) {
         eprintln!("cap={label:>9}  geomean overhead = {g:.2}%");
     }
     c.bench_function("ablation_icp_cap_point", |b| {
-        b.iter(|| lab.run_config(&PibeConfig::full(Budget::P99_9, DefenseSet::ALL)).0)
+        b.iter(|| {
+            lab.run_config(&PibeConfig::full(Budget::P99_9, DefenseSet::ALL))
+                .0
+        })
     });
 }
 

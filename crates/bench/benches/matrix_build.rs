@@ -1,0 +1,86 @@
+//! Building a configuration matrix through the [`pibe::ImageFarm`]:
+//! sequential (1 worker) vs the full worker pool, plus the memoized
+//! steady state. On a single-core host the pool cannot beat sequential
+//! builds — the interesting comparisons there are pool overhead (should
+//! be negligible) and the cached pass (should be near-free, since every
+//! request after the first pass is a cache hit).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pibe::{ImageFarm, PibeConfig};
+use pibe_harden::DefenseSet;
+use pibe_kernel::measure::collect_profile;
+use pibe_kernel::workloads::{lmbench_suite, WorkloadSpec};
+use pibe_kernel::{Kernel, KernelSpec};
+use pibe_profile::{Budget, Profile};
+use std::sync::Arc;
+
+/// The distinct-configuration matrix Tables 5/11/12 collectively request.
+fn matrix() -> Vec<PibeConfig> {
+    let all = DefenseSet::ALL;
+    vec![
+        PibeConfig::lto(),
+        PibeConfig::lto_with(all),
+        PibeConfig::icp_only(Budget::P99_999, DefenseSet::RETPOLINES),
+        PibeConfig::full(Budget::P99, all),
+        PibeConfig::full(Budget::P99_9, all),
+        PibeConfig::full(Budget::P99_9999, all),
+        PibeConfig::lax(all),
+        PibeConfig::pibe_baseline(),
+    ]
+}
+
+fn bench_matrix_build(c: &mut Criterion) {
+    let kernel = Kernel::generate(KernelSpec::test());
+    let profile = collect_profile(
+        &kernel,
+        &WorkloadSpec::lmbench(),
+        &lmbench_suite(8),
+        2,
+        0xBA5E,
+    )
+    .expect("profiling succeeds");
+    let base: Arc<pibe_ir::Module> = Arc::new(kernel.module.clone());
+    let profile: Arc<Profile> = Arc::new(profile);
+    let configs = matrix();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut group = c.benchmark_group("matrix_build");
+    group.sample_size(10);
+    let fresh_farm = |threads: usize| {
+        let base = Arc::clone(&base);
+        let profile = Arc::clone(&profile);
+        move || {
+            ImageFarm::with_shared(Arc::clone(&base), Arc::clone(&profile)).with_threads(threads)
+        }
+    };
+    group.bench_function("farm_sequential", |b| {
+        b.iter_batched(
+            fresh_farm(1),
+            |farm| farm.images(&configs).expect("matrix builds"),
+            BatchSize::PerIteration,
+        )
+    });
+    let pool_id = format!("farm_pool_{threads}_threads");
+    group.bench_function(&pool_id, |b| {
+        b.iter_batched(
+            fresh_farm(threads),
+            |farm| farm.images(&configs).expect("matrix builds"),
+            BatchSize::PerIteration,
+        )
+    });
+    // The steady state every experiment table after the first enjoys: all
+    // requests are cache hits.
+    let warm = ImageFarm::with_shared(Arc::clone(&base), Arc::clone(&profile));
+    warm.prefetch(&configs).expect("matrix builds");
+    group.bench_function("farm_memoized", |b| {
+        b.iter(|| warm.images(&configs).expect("matrix cached"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matrix_build
+}
+criterion_main!(benches);

@@ -15,14 +15,26 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("table1_defense_costs", |b| b.iter(experiments::table1));
     group.bench_function("figure1_rule3", |b| b.iter(experiments::figure1));
     group.bench_function("table2_baselines", |b| b.iter(|| experiments::table2(&lab)));
-    group.bench_function("table3_retpolines", |b| b.iter(|| experiments::table3(&lab)));
-    group.bench_function("table4_multiplicity", |b| b.iter(|| experiments::table4(&lab)));
-    group.bench_function("table5_comprehensive", |b| b.iter(|| experiments::table5(&lab)));
-    group.bench_function("table6_per_defense", |b| b.iter(|| experiments::table6(&lab)));
+    group.bench_function("table3_retpolines", |b| {
+        b.iter(|| experiments::table3(&lab))
+    });
+    group.bench_function("table4_multiplicity", |b| {
+        b.iter(|| experiments::table4(&lab))
+    });
+    group.bench_function("table5_comprehensive", |b| {
+        b.iter(|| experiments::table5(&lab))
+    });
+    group.bench_function("table6_per_defense", |b| {
+        b.iter(|| experiments::table6(&lab))
+    });
     group.bench_function("table7_macro", |b| b.iter(|| experiments::table7(&lab, 10)));
     group.bench_function("table8_gadgets", |b| b.iter(|| experiments::table8(&lab)));
-    group.bench_function("table9_heuristics", |b| b.iter(|| experiments::table9(&lab)));
-    group.bench_function("table10_candidates", |b| b.iter(|| experiments::table10(&lab)));
+    group.bench_function("table9_heuristics", |b| {
+        b.iter(|| experiments::table9(&lab))
+    });
+    group.bench_function("table10_candidates", |b| {
+        b.iter(|| experiments::table10(&lab))
+    });
     group.bench_function("table11_audit", |b| b.iter(|| experiments::table11(&lab)));
     group.bench_function("table12_size", |b| b.iter(|| experiments::table12(&lab)));
     group.bench_function("robustness_8_4", |b| {
@@ -31,8 +43,12 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("ext_refill", |b| {
         b.iter(|| experiments::rsb_refill_comparison(&lab))
     });
-    group.bench_function("ext_eibrs", |b| b.iter(|| experiments::eibrs_comparison(&lab)));
-    group.bench_function("ext_breakdown", |b| b.iter(|| experiments::cycle_breakdown(&lab)));
+    group.bench_function("ext_eibrs", |b| {
+        b.iter(|| experiments::eibrs_comparison(&lab))
+    });
+    group.bench_function("ext_breakdown", |b| {
+        b.iter(|| experiments::cycle_breakdown(&lab))
+    });
     group.bench_function("ext_spectre_v1", |b| {
         b.iter(|| experiments::spectre_v1_fencing(&lab))
     });

@@ -8,9 +8,7 @@ use pibe_baselines::{run_llvm_inliner, LlvmInlinerConfig};
 use pibe_kernel::measure::collect_profile;
 use pibe_kernel::workloads::{lmbench_suite, WorkloadSpec};
 use pibe_kernel::{Kernel, KernelSpec};
-use pibe_passes::{
-    promote_indirect_calls, run_inliner, IcpConfig, InlinerConfig, SiteWeights,
-};
+use pibe_passes::{promote_indirect_calls, run_inliner, IcpConfig, InlinerConfig, SiteWeights};
 use pibe_profile::Budget;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -18,8 +16,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let kernel = Kernel::generate(spec);
     let workload = WorkloadSpec::lmbench();
     let suite = lmbench_suite(8);
-    let profile =
-        collect_profile(&kernel, &workload, &suite, 2, 7).expect("profiling succeeds");
+    let profile = collect_profile(&kernel, &workload, &suite, 2, 7).expect("profiling succeeds");
 
     c.bench_function("generate_kernel_test_scale", |b| {
         b.iter(|| Kernel::generate(spec))

@@ -20,15 +20,21 @@ fn bench_simulation(c: &mut Criterion) {
         warmup: 4,
     };
 
-    let configs: Vec<(&str, pibe::Image)> = vec![
+    let configs: Vec<(&str, std::sync::Arc<pibe::Image>)> = vec![
         ("lto_undefended", lab.image(&PibeConfig::lto())),
-        ("lto_all_defenses", lab.image(&PibeConfig::lto_with(DefenseSet::ALL))),
-        ("pibe_lax_all_defenses", lab.image(&PibeConfig::lax(DefenseSet::ALL))),
+        (
+            "lto_all_defenses",
+            lab.image(&PibeConfig::lto_with(DefenseSet::ALL)),
+        ),
+        (
+            "pibe_lax_all_defenses",
+            lab.image(&PibeConfig::lax(DefenseSet::ALL)),
+        ),
     ];
 
     let mut group = c.benchmark_group("simulate_read_path");
     for (name, image) in &configs {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let cfg = SimConfig {
                     defenses: image.config.defenses,

@@ -1,16 +1,35 @@
 //! Diagnostic: per-benchmark ExecStats for LTO vs PIBE-baseline images.
 use pibe::experiments::Lab;
 use pibe::PibeConfig;
-use pibe_kernel::{KernelSpec, Syscall, workloads::Benchmark, measure::run_latency};
+use pibe_kernel::{measure::run_latency, workloads::Benchmark, KernelSpec, Syscall};
 use pibe_sim::SimConfig;
 
 fn main() {
-    let lab = Lab::new(KernelSpec { scale: 0.1, ..KernelSpec::paper() }, 16, 2);
+    let lab = Lab::new(
+        KernelSpec {
+            scale: 0.1,
+            ..KernelSpec::paper()
+        },
+        16,
+        2,
+    );
     let image = lab.image(&PibeConfig::pibe_baseline());
     for sc in [Syscall::Read, Syscall::Open, Syscall::Null] {
-        let b = Benchmark { syscall: sc, iterations: 16, warmup: 2 };
+        let b = Benchmark {
+            syscall: sc,
+            iterations: 16,
+            warmup: 2,
+        };
         for (name, m) in [("lto ", &lab.kernel.module), ("pibe", &image.module)] {
-            let (lat, st, _) = run_latency(m, &lab.kernel, &lab.workload, b, SimConfig::default(), lab.seed).unwrap();
+            let (lat, st, _) = run_latency(
+                m,
+                &lab.kernel,
+                &lab.workload,
+                b,
+                SimConfig::default(),
+                lab.seed,
+            )
+            .unwrap();
             println!("{} {:>6}: cyc/it {:>8.0} ops {:>8} dc {:>6} ic {:>5} ret {:>6} btbmiss {:>5} icmiss {:>6} rsbmiss {:>4}",
                 name, sc.name(), lat.cycles_per_iter, st.ops, st.dcalls, st.icalls, st.rets, st.btb_misses, st.icache_misses, st.rsb_misses);
         }

@@ -58,7 +58,10 @@ fn main() {
     });
     let census = kernel.module.census();
 
-    println!("synthetic kernel @ scale {} (seed {:#x})", args.scale, args.seed);
+    println!(
+        "synthetic kernel @ scale {} (seed {:#x})",
+        args.scale, args.seed
+    );
     println!("  functions:           {}", kernel.module.len());
     println!("  code bytes:          {}", kernel.module.code_bytes());
     println!("  direct call sites:   {}", census.direct_calls);
@@ -81,7 +84,11 @@ fn main() {
 
     println!("\nentry points:");
     for (sc, f) in kernel.entries() {
-        println!("  {:>14} -> {}", sc.name(), kernel.module.function(f).name());
+        println!(
+            "  {:>14} -> {}",
+            sc.name(),
+            kernel.module.function(f).name()
+        );
     }
 
     if args.reachability {

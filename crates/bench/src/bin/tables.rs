@@ -8,9 +8,16 @@
 //!   --iters N      LMBench iterations per benchmark (default 24)
 //!   --rounds N     profiling rounds to aggregate (default 3; paper: 11)
 //!   --requests N   macro-benchmark requests (default 40)
+//!   --threads N    image-farm worker threads (default: PIBE_BUILD_THREADS
+//!                  if set, else the machine's available parallelism)
 //!   --only LIST    comma-separated subset, e.g. "1,5,robustness,fig1"
 //!   --json PATH    additionally write all regenerated tables as JSON
 //! ```
+//!
+//! Every configuration any table requests is built exactly once through
+//! the lab's [`pibe::ImageFarm`]; the closing build report shows how much
+//! wall-clock each pipeline stage cost and how many rebuilds the farm's
+//! cache absorbed.
 
 use pibe::experiments::{self, Lab};
 use pibe_kernel::KernelSpec;
@@ -21,6 +28,7 @@ struct Args {
     iters: u32,
     rounds: u32,
     requests: u32,
+    threads: Option<usize>,
     only: Option<Vec<String>>,
     json: Option<String>,
 }
@@ -31,6 +39,7 @@ fn parse_args() -> Args {
         iters: 24,
         rounds: 3,
         requests: 40,
+        threads: None,
         only: None,
         json: None,
     };
@@ -45,6 +54,9 @@ fn parse_args() -> Args {
             "--iters" => args.iters = val().parse().expect("--iters takes an integer"),
             "--rounds" => args.rounds = val().parse().expect("--rounds takes an integer"),
             "--requests" => args.requests = val().parse().expect("--requests takes an integer"),
+            "--threads" => {
+                args.threads = Some(val().parse().expect("--threads takes a positive integer"));
+            }
             "--only" => args.only = Some(val().split(',').map(str::to_string).collect()),
             "--json" => args.json = Some(val()),
             "--all" => args.only = None,
@@ -66,6 +78,11 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        assert!(n >= 1, "--threads takes a positive integer");
+        // The farm reads this when the lab constructs it.
+        std::env::set_var("PIBE_BUILD_THREADS", n.to_string());
+    }
     let wanted = |key: &str| {
         args.only
             .as_ref()
@@ -94,7 +111,24 @@ fn main() {
     }
 
     let lab_keys = [
-        "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "robustness", "refill", "breakdown", "v1", "eibrs", "userspace", "convergence",
+        "2",
+        "3",
+        "4",
+        "5",
+        "6",
+        "7",
+        "8",
+        "9",
+        "10",
+        "11",
+        "12",
+        "robustness",
+        "refill",
+        "breakdown",
+        "v1",
+        "eibrs",
+        "userspace",
+        "convergence",
     ];
     if !lab_keys.iter().any(|k| wanted(k)) {
         write_json(&args, &produced);
@@ -109,11 +143,13 @@ fn main() {
     let lab = Lab::new(spec, args.iters, args.rounds);
     let census = lab.kernel.module.census();
     eprintln!(
-        "[lab ready in {:.1?}: {} functions, {} icall sites, {} return sites]",
+        "[lab ready in {:.1?}: {} functions, {} icall sites, {} return sites, \
+         {} farm threads]",
         t0.elapsed(),
         lab.kernel.module.len(),
         census.indirect_calls,
-        census.returns
+        census.returns,
+        lab.farm().threads()
     );
 
     type TableFn = dyn Fn(&Lab) -> pibe::report::Table;
@@ -200,7 +236,38 @@ fn main() {
         produced.push(table);
         eprintln!("[robustness in {:.1?}]", t0.elapsed());
     }
+    let build_report = build_report(&lab);
+    println!("\n{build_report}");
+    produced.push(build_report);
     write_json(&args, &produced);
+}
+
+/// Summarises the lab's image-farm activity: cache effectiveness and the
+/// wall-clock cost of each pipeline stage summed over every build.
+fn build_report(lab: &Lab) -> pibe::report::Table {
+    let stats = lab.farm().stats();
+    let metrics = lab.build_metrics();
+    let ms = |ns: u64| format!("{:.1}", ns as f64 / 1e6);
+    let mut t = pibe::report::Table::new(
+        "Build report: image-farm cache and per-stage pipeline timings",
+        &["statistic", "value"],
+    );
+    t.row(vec![
+        "farm worker threads".into(),
+        lab.farm().threads().to_string(),
+    ]);
+    t.row(vec!["image requests".into(), stats.requests.to_string()]);
+    t.row(vec!["pipeline builds".into(), stats.builds.to_string()]);
+    t.row(vec!["cache hits".into(), stats.hits.to_string()]);
+    t.row(vec![
+        "distinct configurations".into(),
+        stats.cached.to_string(),
+    ]);
+    for (stage, ns) in metrics.stages() {
+        t.row(vec![format!("stage {stage} (ms)"), ms(ns)]);
+    }
+    t.row(vec!["total build time (ms)".into(), ms(metrics.total_ns)]);
+    t
 }
 
 /// Writes the regenerated tables as a JSON document when `--json` was given.
@@ -213,7 +280,10 @@ fn write_json(args: &Args, tables: &[pibe::report::Table]) {
         "requests": args.requests,
         "tables": tables,
     });
-    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("tables serialize"))
-        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&doc).expect("tables serialize"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     eprintln!("[wrote {path}]");
 }

@@ -7,7 +7,11 @@ use serde::{Deserialize, Serialize};
 
 /// One kernel build configuration: which optimizations run (and at what
 /// budget) and which defenses harden the result.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Configurations are `Eq + Hash`: the [`ImageFarm`](crate::ImageFarm)
+/// content-keys its build cache on the full configuration, so two requests
+/// for the same configuration share one built image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PibeConfig {
     /// Indirect call promotion, if enabled.
     pub icp: Option<IcpConfig>,

@@ -49,7 +49,9 @@ pub fn lmbench_latencies(
         }
     })
     .expect("benchmark thread panicked");
-    rows.into_iter().map(|r| r.expect("all slots filled")).collect()
+    rows.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// Runs the suite and additionally aggregates the dynamic attack surface

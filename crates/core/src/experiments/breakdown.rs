@@ -81,6 +81,7 @@ pub fn cycle_breakdown(lab: &Lab) -> (Table, Vec<CycleBreakdown>) {
         &["configuration", "base", "defense", "prediction", "locality"],
     );
     let mut out = Vec::new();
+    lab.prefetch(&configs.map(|(_, c)| c));
     for (name, config) in configs {
         let image = lab.image(&config);
         let b = suite_breakdown(lab, &image);

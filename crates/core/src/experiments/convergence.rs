@@ -30,7 +30,11 @@ pub struct ConvergencePoint {
 pub fn profiling_convergence(lab: &Lab) -> (Table, Vec<ConvergencePoint>) {
     let mut table = Table::new(
         "Profiling convergence: candidate overlap with the reference profile (99.9% budget)",
-        &["rounds", "icp candidates shared", "inline candidates shared"],
+        &[
+            "rounds",
+            "icp candidates shared",
+            "inline candidates shared",
+        ],
     );
     let mut out = Vec::new();
     for rounds in [1u32, 2, 4, 8] {

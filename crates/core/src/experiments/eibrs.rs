@@ -33,7 +33,12 @@ pub struct ForwardEdgePosture {
 pub fn eibrs_comparison(lab: &Lab) -> (Table, Vec<ForwardEdgePosture>) {
     let mut table = Table::new(
         "eIBRS vs retpolines (6.4): cost and residual Spectre V2 surface",
-        &["posture", "LMBench overhead", "user-trained V2", "kernel-trained V2"],
+        &[
+            "posture",
+            "LMBench overhead",
+            "user-trained V2",
+            "kernel-trained V2",
+        ],
     );
     let mut out = Vec::new();
     let mut measure = |name: &str, image: &crate::Image, cfg: SimConfig| {
@@ -60,6 +65,11 @@ pub fn eibrs_comparison(lab: &Lab) -> (Table, Vec<ForwardEdgePosture>) {
         });
     };
 
+    lab.prefetch(&[
+        PibeConfig::lto(),
+        PibeConfig::lto_with(DefenseSet::RETPOLINES),
+        PibeConfig::icp_only(Budget::P99_999, DefenseSet::RETPOLINES),
+    ]);
     let lto = lab.image(&PibeConfig::lto());
     measure("no forward-edge defense", &lto, SimConfig::default());
     measure(

@@ -28,16 +28,18 @@ pub use v1::{spectre_v1_fencing, V1Summary};
 
 use crate::config::PibeConfig;
 use crate::eval::{self, LatencyRow};
-use crate::pipeline::{build_image, Image};
+use crate::farm::ImageFarm;
+use crate::pipeline::{BuildMetrics, Image};
 use pibe_harden::DefenseSet;
 use pibe_kernel::measure::collect_profile;
 use pibe_kernel::workloads::{lmbench_suite, Benchmark, WorkloadSpec};
 use pibe_kernel::{Kernel, KernelSpec};
 use pibe_profile::Profile;
 use pibe_sim::SimConfig;
+use std::sync::Arc;
 
-/// The experiment harness: one generated kernel, one profiling run, shared
-/// across all tables.
+/// The experiment harness: one generated kernel, one profiling run, and one
+/// image farm shared across all tables.
 #[derive(Debug)]
 pub struct Lab {
     /// The synthetic kernel under evaluation.
@@ -52,6 +54,9 @@ pub struct Lab {
     pub lto_latencies: Vec<LatencyRow>,
     /// Simulation seed shared by all measurements.
     pub seed: u64,
+    /// The build farm: every image any table requests is built exactly once
+    /// here and shared.
+    farm: ImageFarm,
 }
 
 impl Lab {
@@ -73,6 +78,8 @@ impl Lab {
             SimConfig::default(),
             seed,
         );
+        let farm =
+            ImageFarm::with_shared(Arc::new(kernel.module.clone()), Arc::new(profile.clone()));
         Lab {
             kernel,
             workload,
@@ -80,6 +87,7 @@ impl Lab {
             profile,
             lto_latencies,
             seed,
+            farm,
         }
     }
 
@@ -88,17 +96,43 @@ impl Lab {
         Lab::new(KernelSpec::test(), 8, 2)
     }
 
-    /// Builds a production image from this lab's profile.
-    pub fn image(&self, config: &PibeConfig) -> Image {
-        build_image(&self.kernel.module, &self.profile, config)
+    /// The image for `config`, built through the lab's farm: the first
+    /// request for a configuration builds it, every later request shares
+    /// the same `Arc`'d image.
+    pub fn image(&self, config: &PibeConfig) -> Arc<Image> {
+        self.farm
+            .image(config)
+            .expect("pipeline must preserve validity")
+    }
+
+    /// Builds every configuration in `configs` across the farm's worker
+    /// pool before returning; tables call this so their subsequent
+    /// [`Lab::image`] calls are cache hits.
+    pub fn prefetch(&self, configs: &[PibeConfig]) {
+        self.farm
+            .prefetch(configs)
+            .expect("pipeline must preserve validity");
+    }
+
+    /// The lab's build farm (counters, thread knob, aggregate metrics).
+    pub fn farm(&self) -> &ImageFarm {
+        &self.farm
+    }
+
+    /// Per-stage build timings summed over every image this lab has built.
+    pub fn build_metrics(&self) -> BuildMetrics {
+        self.farm.aggregate_metrics()
     }
 
     /// Measures the latency suite on `image` under its own defenses.
     pub fn latencies(&self, image: &Image) -> Vec<LatencyRow> {
-        self.latencies_with(image, SimConfig {
-            defenses: image.config.defenses,
-            ..SimConfig::default()
-        })
+        self.latencies_with(
+            image,
+            SimConfig {
+                defenses: image.config.defenses,
+                ..SimConfig::default()
+            },
+        )
     }
 
     /// Measures the latency suite on `image` with an explicit simulator
@@ -185,7 +219,10 @@ mod tests {
     fn pibe_baseline_is_faster_than_lto() {
         let lab = Lab::test();
         let (g, _) = lab.run_config(&PibeConfig::pibe_baseline());
-        assert!(g < 0.0, "PGO with no defenses speeds the kernel up: {g:.1}%");
+        assert!(
+            g < 0.0,
+            "PGO with no defenses speeds the kernel up: {g:.1}%"
+        );
     }
 
     #[test]

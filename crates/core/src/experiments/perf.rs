@@ -24,7 +24,13 @@ pub fn table1() -> Table {
         "Table 1: overhead of control-flow hijacking mitigations (ticks/call, % SPEC-like)",
         &["defense", "dcall", "icall", "vcall", "spec-like %"],
     );
-    t.row(vec!["uninstrumented".into(), "0".into(), "0".into(), "0".into(), pct(0.0)]);
+    t.row(vec![
+        "uninstrumented".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        pct(0.0),
+    ]);
     for d in [
         NonTransientDefense::LlvmCfi,
         NonTransientDefense::StackProtector,
@@ -116,8 +122,18 @@ pub fn figure1() -> Table {
         "~12000".into(),
         "skipped (Rule 3)".into(),
     ]);
-    t.row(vec!["foo_2".into(), "500".into(), cost(foos[1]).to_string(), "inlined".into()]);
-    t.row(vec!["foo_3".into(), "500".into(), cost(foos[2]).to_string(), "inlined".into()]);
+    t.row(vec![
+        "foo_2".into(),
+        "500".into(),
+        cost(foos[1]).to_string(),
+        "inlined".into(),
+    ]);
+    t.row(vec![
+        "foo_3".into(),
+        "500".into(),
+        cost(foos[2]).to_string(),
+        "inlined".into(),
+    ]);
     t.row(vec![
         "(total)".into(),
         format!("{} elided", stats.inlined_weight),
@@ -134,7 +150,12 @@ pub fn table2(lab: &Lab) -> Table {
     let rows = lab.latencies(&image);
     let mut t = Table::new(
         "Table 2: LTO baseline vs PIBE (PGO, no defenses) LMBench latencies",
-        &["Test", "LTO Baseline (us)", "PIBE Baseline (us)", "overhead"],
+        &[
+            "Test",
+            "LTO Baseline (us)",
+            "PIBE Baseline (us)",
+            "overhead",
+        ],
     );
     for (b, n) in lab.lto_latencies.iter().zip(&rows) {
         t.row(vec![
@@ -155,14 +176,29 @@ pub fn table2(lab: &Lab) -> Table {
 
 /// The 12 retpoline-sensitive benchmarks Table 3 reports.
 const TABLE3_BENCHES: [&str; 12] = [
-    "null", "read", "write", "open", "stat", "fstat", "select_tcp", "udp", "tcp", "tcp_conn",
-    "af_unix", "pipe",
+    "null",
+    "read",
+    "write",
+    "open",
+    "stat",
+    "fstat",
+    "select_tcp",
+    "udp",
+    "tcp",
+    "tcp_conn",
+    "af_unix",
+    "pipe",
 ];
 
 /// Table 3: retpoline overhead — unoptimized vs JumpSwitches vs static ICP
 /// at two budgets, all relative to the LTO baseline.
 pub fn table3(lab: &Lab) -> Table {
     let retp = DefenseSet::RETPOLINES;
+    lab.prefetch(&[
+        PibeConfig::lto_with(retp),
+        PibeConfig::icp_only(Budget::P99, retp),
+        PibeConfig::icp_only(Budget::P99_999, retp),
+    ]);
     let lto_image = lab.image(&PibeConfig::lto_with(retp));
     let lto_rows = lab.latencies(&lto_image);
     // JumpSwitches run on the *unoptimized* image with the runtime
@@ -237,9 +273,13 @@ pub fn table5(lab: &Lab) -> Table {
         ("+icp (99.999%)", PibeConfig::icp_only(Budget::P99_999, all)),
         ("+icp+inl (99%)", PibeConfig::full(Budget::P99, all)),
         ("+icp+inl (99.9%)", PibeConfig::full(Budget::P99_9, all)),
-        ("+icp+inl (99.9999%)", PibeConfig::full(Budget::P99_9999, all)),
+        (
+            "+icp+inl (99.9999%)",
+            PibeConfig::full(Budget::P99_9999, all),
+        ),
         ("lax heuristics", PibeConfig::lax(all)),
     ];
+    lab.prefetch(&configs.iter().map(|(_, c)| *c).collect::<Vec<_>>());
     let measured: Vec<Vec<eval::LatencyRow>> = configs
         .iter()
         .map(|(_, c)| {
@@ -276,19 +316,27 @@ pub fn table6(lab: &Lab) -> Table {
         "Table 6: LMBench geometric mean overhead per defense",
         &["Defense", "LTO", "PIBE"],
     );
+    // Optimal config per the paper: icp-only for retpolines (backward
+    // edges are untouched anyway), lax for everything else.
+    let best = |d: DefenseSet| {
+        if d == DefenseSet::RETPOLINES {
+            PibeConfig::icp_only(Budget::P99_999, d)
+        } else {
+            PibeConfig::lax(d)
+        }
+    };
+    let mut configs = vec![PibeConfig::pibe_baseline()];
+    for (_, d) in defense_sweep() {
+        configs.push(PibeConfig::lto_with(d));
+        configs.push(best(d));
+    }
+    lab.prefetch(&configs);
     // "None": the PIBE baseline speedup.
     let (none_geo, _) = lab.run_config(&PibeConfig::pibe_baseline());
     t.row(vec!["None".into(), pct(0.0), pct(none_geo)]);
     for (name, d) in defense_sweep() {
         let (lto, _) = lab.run_config(&PibeConfig::lto_with(d));
-        // Optimal config per the paper: icp-only for retpolines (backward
-        // edges are untouched anyway), lax for everything else.
-        let best = if d == DefenseSet::RETPOLINES {
-            PibeConfig::icp_only(Budget::P99_999, d)
-        } else {
-            PibeConfig::lax(d)
-        };
-        let (pibe, _) = lab.run_config(&best);
+        let (pibe, _) = lab.run_config(&best(d));
         t.row(vec![
             name.trim_start_matches("w/").into(),
             pct(lto),
@@ -310,8 +358,23 @@ pub fn table7(lab: &Lab, requests: u32) -> Table {
     ];
     let mut t = Table::new(
         "Table 7: throughput change for Nginx, Apache, DBench (vs LTO baseline)",
-        &["Benchmark", "Configuration", "no optimization", "PIBE optimizations"],
+        &[
+            "Benchmark",
+            "Configuration",
+            "no optimization",
+            "PIBE optimizations",
+        ],
     );
+    let mut configs = Vec::new();
+    for (_, d) in defense_sweep() {
+        configs.push(PibeConfig::lto_with(d));
+        configs.push(if d == DefenseSet::RETPOLINES {
+            PibeConfig::icp_only(Budget::P99_999, d)
+        } else {
+            PibeConfig::lax(d)
+        });
+    }
+    lab.prefetch(&configs);
     for (mb, wl) in &benches {
         // Vanilla throughput for this macro benchmark.
         let (vanilla, _) = run_throughput(
@@ -345,7 +408,8 @@ pub fn table7(lab: &Lab, requests: u32) -> Table {
                     lab.seed,
                 )
             };
-            let delta = |rps: f64| (rps - vanilla.requests_per_sec) / vanilla.requests_per_sec * 100.0;
+            let delta =
+                |rps: f64| (rps - vanilla.requests_per_sec) / vanilla.requests_per_sec * 100.0;
             t.row(vec![
                 mb.name.clone(),
                 dname.into(),
@@ -385,7 +449,10 @@ mod tests {
         let lab = Lab::test();
         let t = table2(&lab);
         assert_eq!(t.rows.len(), 21);
-        let geo = t.rows.last().unwrap()[3].trim_end_matches('%').parse::<f64>().unwrap();
+        let geo = t.rows.last().unwrap()[3]
+            .trim_end_matches('%')
+            .parse::<f64>()
+            .unwrap();
         assert!(geo < 0.0, "geomean must be a speedup, got {geo}%");
     }
 

@@ -57,6 +57,11 @@ pub fn rsb_refill_comparison(lab: &Lab) -> (Table, Vec<BackwardEdgePosture>) {
         });
     };
 
+    lab.prefetch(&[
+        PibeConfig::lto(),
+        PibeConfig::lto_with(DefenseSet::RET_RETPOLINES),
+        PibeConfig::lax(DefenseSet::RET_RETPOLINES),
+    ]);
     let lto = lab.image(&PibeConfig::lto());
     measure("no backward-edge defense", &lto, SimConfig::default());
     measure(

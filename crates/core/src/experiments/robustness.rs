@@ -58,15 +58,21 @@ pub fn robustness(lab: &Lab, requests: u32) -> (Table, RobustnessSummary) {
     // 1. Candidate overlap at the 99% reference budget.
     let ov = overlap::overlap(&lab.profile, &apache_profile, Budget::P99);
 
-    // 2. Apache-trained kernel, comprehensive defenses, LMBench eval.
-    let apache_img = crate::pipeline::build_image(
-        &lab.kernel.module,
-        &apache_profile,
-        &PibeConfig::lax(DefenseSet::ALL),
-    );
+    // 2. Apache-trained kernel, comprehensive defenses, LMBench eval. The
+    // image is trained on a different profile than the lab's, so it is
+    // built directly rather than through the farm.
+    let apache_img = crate::Image::builder(&lab.kernel.module)
+        .profile(&apache_profile)
+        .config(PibeConfig::lax(DefenseSet::ALL))
+        .build()
+        .expect("pipeline must preserve validity");
     let apache_rows = lab.latencies(&apache_img);
     let apache_trained_pct = lab.geomean(&apache_rows);
 
+    lab.prefetch(&[
+        PibeConfig::lax(DefenseSet::ALL),
+        PibeConfig::lto_with(DefenseSet::ALL),
+    ]);
     let (matched_pct, _) = lab.run_config(&PibeConfig::lax(DefenseSet::ALL));
     let (unoptimized_pct, _) = lab.run_config(&PibeConfig::lto_with(DefenseSet::ALL));
 

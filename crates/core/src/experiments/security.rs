@@ -17,6 +17,15 @@ pub(crate) fn budget_sweep() -> [(&'static str, Budget); 3] {
     ]
 }
 
+/// The full-optimization configuration per sweep budget, prefetched as a
+/// batch so the farm builds them in parallel.
+fn sweep_configs() -> Vec<PibeConfig> {
+    budget_sweep()
+        .iter()
+        .map(|(_, b)| PibeConfig::full(*b, DefenseSet::ALL))
+        .collect()
+}
+
 /// Table 4: distribution of profiled indirect call sites by number of
 /// observed targets.
 pub fn table4(lab: &Lab) -> Table {
@@ -46,9 +55,10 @@ pub fn table8(lab: &Lab) -> Table {
             "return sites",
         ],
     );
+    lab.prefetch(&sweep_configs());
     for (name, budget) in budget_sweep() {
         let img = lab.image(&PibeConfig::full(budget, DefenseSet::ALL));
-        let icp = img.icp_stats.expect("icp ran");
+        let icp = img.icp_stats.clone().expect("icp ran");
         let inl = img.inline_stats.expect("inliner ran");
         let pc = |num: u64, den: u64| {
             if den == 0 {
@@ -59,14 +69,26 @@ pub fn table8(lab: &Lab) -> Table {
         };
         t.row(vec![
             name.into(),
-            format!("{} ({})", icp.promoted_weight, pc(icp.promoted_weight, icp.total_weight)),
-            format!("{} ({})", icp.promoted_sites, pc(icp.promoted_sites, icp.total_sites)),
+            format!(
+                "{} ({})",
+                icp.promoted_weight,
+                pc(icp.promoted_weight, icp.total_weight)
+            ),
+            format!(
+                "{} ({})",
+                icp.promoted_sites,
+                pc(icp.promoted_sites, icp.total_sites)
+            ),
             format!(
                 "{} ({})",
                 icp.promoted_targets,
                 pc(icp.promoted_targets, icp.total_targets)
             ),
-            format!("{} ({})", inl.inlined_weight, pc(inl.inlined_weight, inl.total_weight)),
+            format!(
+                "{} ({})",
+                inl.inlined_weight,
+                pc(inl.inlined_weight, inl.total_weight)
+            ),
             format!(
                 "{} ({})",
                 inl.inlined_sites,
@@ -85,6 +107,7 @@ pub fn table9(lab: &Lab) -> Table {
         "Table 9: weight not elided due to size heuristics or other reasons",
         &["budget", "Ovr.", "Rule 2", "Rule 3", "other"],
     );
+    lab.prefetch(&sweep_configs());
     for (name, budget) in budget_sweep() {
         let img = lab.image(&PibeConfig::full(budget, DefenseSet::ALL));
         let s = img.inline_stats.expect("inliner ran");
@@ -98,9 +121,21 @@ pub fn table9(lab: &Lab) -> Table {
         t.row(vec![
             name.into(),
             s.total_weight.to_string(),
-            format!("{} ({})", s.blocked_rule2_weight, pc(s.blocked_rule2_weight)),
-            format!("{} ({})", s.blocked_rule3_weight, pc(s.blocked_rule3_weight)),
-            format!("{} ({})", s.blocked_other_weight, pc(s.blocked_other_weight)),
+            format!(
+                "{} ({})",
+                s.blocked_rule2_weight,
+                pc(s.blocked_rule2_weight)
+            ),
+            format!(
+                "{} ({})",
+                s.blocked_rule3_weight,
+                pc(s.blocked_rule3_weight)
+            ),
+            format!(
+                "{} ({})",
+                s.blocked_other_weight,
+                pc(s.blocked_other_weight)
+            ),
         ]);
     }
     t
@@ -112,15 +147,24 @@ pub fn table10(lab: &Lab) -> Table {
     let census = lab.kernel.module.census();
     let mut t = Table::new(
         "Table 10: optimization candidates relative to all kernel indirect branches",
-        &["statistic", "icp 99%", "icp 99.9%", "icp 99.9999%", "inl 99%", "inl 99.9%", "inl 99.9999%"],
+        &[
+            "statistic",
+            "icp 99%",
+            "icp 99.9%",
+            "icp 99.9999%",
+            "inl 99%",
+            "inl 99.9%",
+            "inl 99.9999%",
+        ],
     );
     let mut branches = vec!["Ind. Branches".to_string()];
     let mut candidates = vec!["Candidates".to_string()];
     let mut icp_cands = Vec::new();
     let mut inl_cands = Vec::new();
+    lab.prefetch(&sweep_configs());
     for (_, budget) in budget_sweep() {
         let img = lab.image(&PibeConfig::full(budget, DefenseSet::ALL));
-        icp_cands.push(img.icp_stats.expect("icp ran").candidate_targets);
+        icp_cands.push(img.icp_stats.as_ref().expect("icp ran").candidate_targets);
         inl_cands.push(img.inline_stats.expect("inliner ran").candidate_sites);
     }
     for _ in 0..3 {
@@ -146,11 +190,18 @@ pub fn table10(lab: &Lab) -> Table {
 pub fn table11(lab: &Lab) -> Table {
     let mut t = Table::new(
         "Table 11: forward edges vulnerable/protected against transient attacks",
-        &["statistic", "no optimization", "99% budget", "99.9% budget", "99.9999% budget"],
+        &[
+            "statistic",
+            "no optimization",
+            "99% budget",
+            "99.9% budget",
+            "99.9999% budget",
+        ],
     );
-    let mut audits = vec![lab
-        .image(&PibeConfig::lto_with(DefenseSet::ALL))
-        .audit];
+    let mut configs = vec![PibeConfig::lto_with(DefenseSet::ALL)];
+    configs.extend(sweep_configs());
+    lab.prefetch(&configs);
+    let mut audits = vec![lab.image(&PibeConfig::lto_with(DefenseSet::ALL)).audit];
     for (_, budget) in budget_sweep() {
         audits.push(lab.image(&PibeConfig::full(budget, DefenseSet::ALL)).audit);
     }
@@ -175,14 +226,9 @@ pub fn table12(lab: &Lab) -> Table {
         "Table 12: increase in size and memory usage due to the algorithms",
         &["config", "budget", "abs size", "img size", "mem size"],
     );
-    let lto_plain = lab.image(&PibeConfig::lto());
     type BudgetList = Vec<(&'static str, Budget)>;
     let sweep: [(&str, DefenseSet, BudgetList); 4] = [
-        (
-            "w/all-defenses",
-            DefenseSet::ALL,
-            budget_sweep().to_vec(),
-        ),
+        ("w/all-defenses", DefenseSet::ALL, budget_sweep().to_vec()),
         (
             "w/retpolines",
             DefenseSet::RETPOLINES,
@@ -199,6 +245,21 @@ pub fn table12(lab: &Lab) -> Table {
             vec![("99%", Budget::P99), ("99.9999%", Budget::P99_9999)],
         ),
     ];
+    // Gather the whole table's configurations up front so the farm builds
+    // them in one parallel batch.
+    let mut configs = vec![PibeConfig::lto()];
+    for (_, d, budgets) in &sweep {
+        configs.push(PibeConfig::lto_with(*d));
+        for (_, budget) in budgets {
+            configs.push(if *d == DefenseSet::RETPOLINES {
+                PibeConfig::icp_only(*budget, *d)
+            } else {
+                PibeConfig::full(*budget, *d)
+            });
+        }
+    }
+    lab.prefetch(&configs);
+    let lto_plain = lab.image(&PibeConfig::lto());
     for (name, d, budgets) in sweep {
         let unopt = lab.image(&PibeConfig::lto_with(d));
         for (bname, budget) in budgets {
@@ -250,22 +311,19 @@ mod tests {
                 .parse::<u64>()
                 .unwrap()
         };
-        assert!(sites(2) >= sites(0), "higher budget promotes at least as many sites");
+        assert!(
+            sites(2) >= sites(0),
+            "higher budget promotes at least as many sites"
+        );
     }
 
     #[test]
     fn table11_has_constant_ijumps_and_growing_vuln_icalls() {
         let lab = Lab::test();
         let t = table11(&lab);
-        let vuln_ijumps: Vec<u64> = t.rows[2][1..]
-            .iter()
-            .map(|c| c.parse().unwrap())
-            .collect();
+        let vuln_ijumps: Vec<u64> = t.rows[2][1..].iter().map(|c| c.parse().unwrap()).collect();
         assert!(vuln_ijumps.iter().all(|v| *v == 5), "{vuln_ijumps:?}");
-        let vuln_icalls: Vec<u64> = t.rows[1][1..]
-            .iter()
-            .map(|c| c.parse().unwrap())
-            .collect();
+        let vuln_icalls: Vec<u64> = t.rows[1][1..].iter().map(|c| c.parse().unwrap()).collect();
         assert!(
             vuln_icalls.last().unwrap() >= vuln_icalls.first().unwrap(),
             "inlining duplicates paravirt gadgets: {vuln_icalls:?}"

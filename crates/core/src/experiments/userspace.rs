@@ -9,7 +9,7 @@
 //! a profile, and a workload.
 
 use crate::config::PibeConfig;
-use crate::pipeline::build_image;
+use crate::pipeline::Image;
 use crate::report::{pct, Table};
 use pibe_harden::DefenseSet;
 use pibe_ir::{Cond, FuncId, FunctionBuilder, Module, OpKind, SiteId};
@@ -110,7 +110,13 @@ fn resolver(site: SiteId, handlers: &[FuncId]) -> MapResolver {
     r
 }
 
-fn measure(module: &Module, entry: FuncId, site: SiteId, handlers: &[FuncId], d: DefenseSet) -> f64 {
+fn measure(
+    module: &Module,
+    entry: FuncId,
+    site: SiteId,
+    handlers: &[FuncId],
+    d: DefenseSet,
+) -> f64 {
     let cfg = SimConfig {
         defenses: d,
         ..SimConfig::default()
@@ -143,7 +149,11 @@ pub fn userspace(profiling_runs: u32) -> (Table, UserspaceSummary) {
         sim.take_profile()
     };
 
-    let image = build_image(&module, &profile, &PibeConfig::lax(DefenseSet::ALL));
+    let image = Image::builder(&module)
+        .profile(&profile)
+        .config(PibeConfig::lax(DefenseSet::ALL))
+        .build()
+        .expect("pipeline must preserve validity");
 
     let base = measure(&module, entry, site, &handlers, DefenseSet::NONE);
     let unopt = measure(&module, entry, site, &handlers, DefenseSet::ALL);
@@ -157,7 +167,10 @@ pub fn userspace(profiling_runs: u32) -> (Table, UserspaceSummary) {
         "Userspace (1): the same pipeline on an event-loop server program",
         &["configuration", "overhead vs undefended"],
     );
-    t.row(vec!["all defenses, no optimization".into(), pct(summary.unoptimized_pct)]);
+    t.row(vec![
+        "all defenses, no optimization".into(),
+        pct(summary.unoptimized_pct),
+    ]);
     t.row(vec!["all defenses + PIBE".into(), pct(summary.pibe_pct)]);
     (t, summary)
 }

@@ -1,0 +1,285 @@
+//! The parallel experiment engine: an [`ImageFarm`] owns one immutable
+//! `(Module, Profile)` pair and serves built [`Image`]s for any set of
+//! [`PibeConfig`]s.
+//!
+//! Every distinct configuration is built **exactly once** per farm — builds
+//! are content-keyed by the full configuration (`PibeConfig: Eq + Hash`)
+//! and memoized behind `Arc`s, so repeated requests share one image.
+//! [`ImageFarm::images`] fans pending builds across a scoped worker pool;
+//! the paper's experiment tables request overlapping configuration sets, so
+//! the farm turns the former rebuild-per-table cost into one build per
+//! distinct configuration per lab.
+
+use crate::config::PibeConfig;
+use crate::pipeline::{BuildMetrics, Image, PipelineError};
+use parking_lot::Mutex;
+use pibe_ir::Module;
+use pibe_profile::Profile;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// One build slot: filled exactly once, shared by every requester.
+type Slot = Arc<OnceLock<Result<Arc<Image>, PipelineError>>>;
+
+/// Counters describing how much work a farm has done and saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FarmStats {
+    /// Image requests served (via [`ImageFarm::image`] or
+    /// [`ImageFarm::images`]).
+    pub requests: u64,
+    /// Pipeline executions — at most one per distinct configuration.
+    pub builds: u64,
+    /// Requests served from an already-built image
+    /// (`requests - builds`).
+    pub hits: u64,
+    /// Distinct configurations currently cached.
+    pub cached: usize,
+}
+
+/// A build farm over one immutable profiled module.
+///
+/// The farm owns `Arc`s of the base module and profile so it can hand
+/// references to worker threads without borrowing from its creator.
+#[derive(Debug)]
+pub struct ImageFarm {
+    base: Arc<Module>,
+    profile: Arc<Profile>,
+    cache: Mutex<HashMap<PibeConfig, Slot>>,
+    requests: AtomicU64,
+    builds: AtomicU64,
+    threads: usize,
+}
+
+/// Worker-pool width: the `PIBE_BUILD_THREADS` environment variable when
+/// set to a positive integer, otherwise the machine's available
+/// parallelism.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PIBE_BUILD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+impl ImageFarm {
+    /// Creates a farm over `base` and `profile` with the default thread
+    /// count (see [`ImageFarm::threads`]).
+    pub fn new(base: Module, profile: Profile) -> Self {
+        Self::with_shared(Arc::new(base), Arc::new(profile))
+    }
+
+    /// Creates a farm sharing already-`Arc`'d inputs (no clone).
+    pub fn with_shared(base: Arc<Module>, profile: Arc<Profile>) -> Self {
+        ImageFarm {
+            base,
+            profile,
+            cache: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            threads: default_threads(),
+        }
+    }
+
+    /// Overrides the worker-pool width (must be at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "a farm needs at least one worker");
+        self.threads = threads;
+        self
+    }
+
+    /// The worker-pool width used by [`ImageFarm::images`]. Defaults to
+    /// `PIBE_BUILD_THREADS` when set, else the machine's available
+    /// parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The immutable base module every build clones.
+    pub fn base(&self) -> &Module {
+        &self.base
+    }
+
+    /// The profile every build optimizes against.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The slot for `config`, creating an empty one under the cache lock.
+    fn slot(&self, config: &PibeConfig) -> Slot {
+        let mut cache = self.cache.lock();
+        cache
+            .entry(*config)
+            .or_insert_with(|| Arc::new(OnceLock::new()))
+            .clone()
+    }
+
+    /// Builds or retrieves the image for `config` without touching the
+    /// request counter. `OnceLock::get_or_init` guarantees the pipeline
+    /// runs exactly once per distinct configuration even under concurrent
+    /// callers (losers of the race block, then share the winner's image).
+    fn fetch(&self, config: &PibeConfig) -> Result<Arc<Image>, PipelineError> {
+        let slot = self.slot(config);
+        slot.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Image::builder(&self.base)
+                .profile(&self.profile)
+                .config(*config)
+                .build()
+                .map(Arc::new)
+        })
+        .clone()
+    }
+
+    /// The image for `config`: built on first request, shared afterwards.
+    ///
+    /// # Errors
+    /// Propagates the build's [`PipelineError`]; failures are cached too,
+    /// so a broken configuration is not retried.
+    pub fn image(&self, config: &PibeConfig) -> Result<Arc<Image>, PipelineError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.fetch(config)
+    }
+
+    /// Images for every configuration in `configs` (in input order),
+    /// fanning not-yet-built configurations across the worker pool.
+    /// Duplicate entries are deduplicated before scheduling and resolve to
+    /// the same `Arc`'d image.
+    ///
+    /// # Errors
+    /// The first configuration (in input order) whose build failed.
+    pub fn images(&self, configs: &[PibeConfig]) -> Result<Vec<Arc<Image>>, PipelineError> {
+        self.requests
+            .fetch_add(configs.len() as u64, Ordering::Relaxed);
+
+        // Dedup in first-seen order; skip configurations already built.
+        let mut seen = HashSet::new();
+        let pending: Vec<PibeConfig> = configs
+            .iter()
+            .filter(|c| seen.insert(**c))
+            .filter(|c| self.slot(c).get().is_none())
+            .copied()
+            .collect();
+
+        let workers = self.threads.min(pending.len());
+        if workers > 1 {
+            let next = AtomicUsize::new(0);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(config) = pending.get(i) else { break };
+                        // Errors are cached in the slot and re-surface in
+                        // the ordered collection below.
+                        let _ = self.fetch(config);
+                    });
+                }
+            })
+            .expect("farm worker panicked");
+        } else {
+            for config in &pending {
+                let _ = self.fetch(config);
+            }
+        }
+
+        configs.iter().map(|c| self.fetch(c)).collect()
+    }
+
+    /// Builds (in parallel) and caches every configuration, discarding the
+    /// images — tables that interleave builds with measurements call this
+    /// first so subsequent [`ImageFarm::image`] calls are cache hits.
+    ///
+    /// # Errors
+    /// The first configuration whose build failed.
+    pub fn prefetch(&self, configs: &[PibeConfig]) -> Result<(), PipelineError> {
+        self.images(configs).map(|_| ())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FarmStats {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let builds = self.builds.load(Ordering::Relaxed);
+        FarmStats {
+            requests,
+            builds,
+            hits: requests.saturating_sub(builds),
+            cached: self.cache.lock().len(),
+        }
+    }
+
+    /// Sums the per-stage build timings of every successfully built image.
+    pub fn aggregate_metrics(&self) -> BuildMetrics {
+        let slots: Vec<Slot> = self.cache.lock().values().cloned().collect();
+        let mut agg = BuildMetrics::default();
+        for slot in slots {
+            if let Some(Ok(image)) = slot.get() {
+                agg.accumulate(&image.metrics);
+            }
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_harden::DefenseSet;
+    use pibe_kernel::{
+        measure::collect_profile,
+        workloads::{lmbench_suite, WorkloadSpec},
+        Kernel, KernelSpec,
+    };
+    use pibe_profile::Budget;
+
+    fn test_farm() -> ImageFarm {
+        let k = Kernel::generate(KernelSpec::test());
+        let p = collect_profile(&k, &WorkloadSpec::lmbench(), &lmbench_suite(4), 1, 7)
+            .expect("profiling run succeeds");
+        ImageFarm::new(k.module, p)
+    }
+
+    #[test]
+    fn duplicate_requests_share_one_arc() {
+        let farm = test_farm();
+        let cfg = PibeConfig::lax(DefenseSet::ALL);
+        let a = farm.image(&cfg).expect("builds");
+        let b = farm.image(&cfg).expect("cached");
+        assert!(Arc::ptr_eq(&a, &b), "cache must return the same image");
+        let s = farm.stats();
+        assert_eq!((s.requests, s.builds, s.hits, s.cached), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn matrix_builds_each_distinct_config_once() {
+        let farm = test_farm().with_threads(2);
+        let matrix = [
+            PibeConfig::lto(),
+            PibeConfig::lto_with(DefenseSet::ALL),
+            PibeConfig::lax(DefenseSet::ALL),
+            PibeConfig::lto(), // duplicate
+            PibeConfig::icp_only(Budget::P99_9, DefenseSet::RETPOLINES),
+        ];
+        let images = farm.images(&matrix).expect("matrix builds");
+        assert_eq!(images.len(), matrix.len());
+        assert!(Arc::ptr_eq(&images[0], &images[3]), "duplicates share");
+        assert_eq!(farm.stats().builds, 4, "4 distinct configs");
+
+        // A second pass over the same matrix builds nothing new.
+        farm.images(&matrix).expect("all cached");
+        assert_eq!(farm.stats().builds, 4);
+        assert_eq!(farm.stats().requests, 10);
+    }
+
+    #[test]
+    fn aggregate_metrics_sums_built_images() {
+        let farm = test_farm();
+        farm.prefetch(&[PibeConfig::lto(), PibeConfig::lax(DefenseSet::ALL)])
+            .expect("prefetch");
+        let agg = farm.aggregate_metrics();
+        assert!(agg.total_ns > 0);
+        assert!(agg.clone_ns > 0);
+    }
+}

@@ -16,8 +16,12 @@
 //!
 //! * [`PibeConfig`] selects the optimization budgets and defenses — the
 //!   paper's evaluated configurations are provided as constructors;
-//! * [`build_image`] runs the hardening phase over a profiled module and
-//!   returns the production image with all transformation statistics;
+//! * [`Image::builder`] is the staged entry point into the hardening phase
+//!   (`Image::builder(&base).profile(&profile).config(cfg).build()`);
+//!   [`build_image`] wraps it with the original panicking signature;
+//! * [`ImageFarm`] builds images for whole configuration sets in parallel,
+//!   memoizing each distinct configuration so it is built exactly once per
+//!   lab; [`BuildMetrics`] records per-stage wall-clock costs;
 //! * [`eval`] measures images against workloads (latency, throughput,
 //!   geometric-mean overhead);
 //! * [`experiments`] regenerates every table and figure in the paper's
@@ -30,8 +34,12 @@
 mod config;
 pub mod eval;
 pub mod experiments;
+mod farm;
 mod pipeline;
 pub mod report;
 
 pub use config::PibeConfig;
-pub use pipeline::{build_image, Image};
+pub use farm::{FarmStats, ImageFarm};
+pub use pipeline::{
+    build_image, BuildMetrics, Image, ImageBuilder, ImageSize, PipelineError, ProfiledImageBuilder,
+};

@@ -1,13 +1,25 @@
 //! The hardening phase: profile + config → production image.
+//!
+//! The staged [`ImageBuilder`] is the canonical entry point:
+//!
+//! ```ignore
+//! let image = Image::builder(&base)
+//!     .profile(&profile)
+//!     .config(cfg)
+//!     .build()?;
+//! ```
+//!
+//! [`build_image`] remains as a thin forwarding wrapper for callers that
+//! want the original panicking signature.
 
 use crate::config::PibeConfig;
 use pibe_harden::{audit, costs, HardenReport, SecurityAudit};
-use pibe_ir::Module;
-use pibe_passes::{
-    promote_indirect_calls, run_inliner, IcpStats, InlinerStats, SiteWeights,
-};
+use pibe_ir::{Module, VerifyError};
+use pibe_passes::{promote_indirect_calls, run_inliner, IcpStats, InlinerStats, SiteWeights};
 use pibe_profile::Profile;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
 
 /// A production kernel image: the transformed module plus every statistic
 /// the evaluation section reports about how it was built.
@@ -27,6 +39,16 @@ pub struct Image {
     pub audit: SecurityAudit,
     /// Image size statistics.
     pub size: ImageSize,
+    /// Wall-clock cost of each pipeline stage for this build.
+    pub metrics: BuildMetrics,
+}
+
+impl Image {
+    /// Starts a staged build over `base`. The base module is never
+    /// modified; the pipeline clones it.
+    pub fn builder(base: &Module) -> ImageBuilder<'_> {
+        ImageBuilder { base }
+    }
 }
 
 /// Size measures of an image (Table 12).
@@ -49,45 +71,200 @@ impl ImageSize {
     }
 }
 
-/// Runs the hardening phase: clones `base`, applies indirect call promotion
-/// and the security inliner per `config` (ICP first, as in the paper), then
-/// the defense transforms, and audits the result.
+/// Wall-clock nanoseconds spent in each pipeline stage of one build.
+///
+/// Timings are measurement artifacts, not build outputs: two builds of the
+/// same configuration produce identical modules and statistics but
+/// different `BuildMetrics`. The farm's aggregated report sums these across
+/// every image it built.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct BuildMetrics {
+    /// Cloning the base module.
+    pub clone_ns: u64,
+    /// Indirect call promotion (zero when the config disables ICP).
+    pub icp_ns: u64,
+    /// The security inliner (zero when the config disables inlining).
+    pub inline_ns: u64,
+    /// Defense transforms.
+    pub harden_ns: u64,
+    /// The static security audit.
+    pub audit_ns: u64,
+    /// Size accounting.
+    pub size_ns: u64,
+    /// Post-pipeline structural verification.
+    pub verify_ns: u64,
+    /// End-to-end build time (at least the sum of the stages).
+    pub total_ns: u64,
+}
+
+impl BuildMetrics {
+    /// Stage labels and durations in pipeline order (excludes the total).
+    pub fn stages(&self) -> [(&'static str, u64); 7] {
+        [
+            ("clone", self.clone_ns),
+            ("icp", self.icp_ns),
+            ("inline", self.inline_ns),
+            ("harden", self.harden_ns),
+            ("audit", self.audit_ns),
+            ("size", self.size_ns),
+            ("verify", self.verify_ns),
+        ]
+    }
+
+    /// Accumulates another build's timings into this aggregate.
+    pub fn accumulate(&mut self, other: &BuildMetrics) {
+        self.clone_ns += other.clone_ns;
+        self.icp_ns += other.icp_ns;
+        self.inline_ns += other.inline_ns;
+        self.harden_ns += other.harden_ns;
+        self.audit_ns += other.audit_ns;
+        self.size_ns += other.size_ns;
+        self.verify_ns += other.verify_ns;
+        self.total_ns += other.total_ns;
+    }
+}
+
+/// Why the pipeline refused to produce an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The transformed module failed structural verification — a pass
+    /// violated an IR invariant. Unlike the original `debug_assert!`, this
+    /// check runs in release builds too: a silently malformed image would
+    /// invalidate every downstream measurement.
+    InvalidModule(VerifyError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidModule(e) => {
+                write!(f, "pipeline produced an invalid module: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// First builder stage: has a base module, needs a profile.
+#[derive(Debug, Clone, Copy)]
+pub struct ImageBuilder<'m> {
+    base: &'m Module,
+}
+
+impl<'m> ImageBuilder<'m> {
+    /// Attaches the profile that drives budget selection in both passes.
+    pub fn profile<'p>(self, profile: &'p Profile) -> ProfiledImageBuilder<'m, 'p> {
+        ProfiledImageBuilder {
+            base: self.base,
+            profile,
+            config: PibeConfig::lto(),
+        }
+    }
+}
+
+/// Second builder stage: ready to build. The configuration defaults to the
+/// LTO baseline ([`PibeConfig::lto`]) until [`config`](Self::config)
+/// replaces it.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfiledImageBuilder<'m, 'p> {
+    base: &'m Module,
+    profile: &'p Profile,
+    config: PibeConfig,
+}
+
+impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
+    /// Selects the build configuration.
+    pub fn config(mut self, config: PibeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the hardening phase: clones the base, applies indirect call
+    /// promotion and the security inliner per the configuration (ICP first,
+    /// as in the paper), then the defense transforms, audits the result,
+    /// and verifies the final module.
+    ///
+    /// # Errors
+    /// [`PipelineError::InvalidModule`] if the transformed module fails
+    /// structural verification.
+    pub fn build(self) -> Result<Image, PipelineError> {
+        let config = self.config;
+        let build_start = Instant::now();
+        let mut metrics = BuildMetrics::default();
+
+        let stage = Instant::now();
+        let mut module = self.base.clone();
+        metrics.clone_ns = stage.elapsed().as_nanos() as u64;
+
+        let mut weights = SiteWeights::from_profile(self.profile);
+
+        let stage = Instant::now();
+        let icp_stats = config
+            .icp
+            .as_ref()
+            .map(|icp| promote_indirect_calls(&mut module, &mut weights, self.profile, icp));
+        metrics.icp_ns = stage.elapsed().as_nanos() as u64;
+
+        let stage = Instant::now();
+        let inline_stats = config
+            .inliner
+            .as_ref()
+            .map(|inl| run_inliner(&mut module, &weights, self.profile, inl));
+        metrics.inline_ns = stage.elapsed().as_nanos() as u64;
+
+        let stage = Instant::now();
+        let harden_report = pibe_harden::apply(&mut module, config.defenses);
+        metrics.harden_ns = stage.elapsed().as_nanos() as u64;
+
+        let stage = Instant::now();
+        let audit = audit(&module, config.defenses);
+        metrics.audit_ns = stage.elapsed().as_nanos() as u64;
+
+        let stage = Instant::now();
+        let size = ImageSize::of(&module, config.defenses);
+        metrics.size_ns = stage.elapsed().as_nanos() as u64;
+
+        let stage = Instant::now();
+        module.verify().map_err(PipelineError::InvalidModule)?;
+        metrics.verify_ns = stage.elapsed().as_nanos() as u64;
+
+        metrics.total_ns = build_start.elapsed().as_nanos() as u64;
+        Ok(Image {
+            module,
+            config,
+            icp_stats,
+            inline_stats,
+            harden_report,
+            audit,
+            size,
+            metrics,
+        })
+    }
+}
+
+/// Runs the hardening phase with the original signature; forwards to
+/// [`Image::builder`].
 ///
 /// `base` itself is never modified; experiments build many images from one
 /// profiled kernel.
+///
+/// # Panics
+/// Panics if the pipeline produces a structurally invalid module (the
+/// builder API returns this as [`PipelineError::InvalidModule`] instead).
 pub fn build_image(base: &Module, profile: &Profile, config: &PibeConfig) -> Image {
-    let mut module = base.clone();
-    let mut weights = SiteWeights::from_profile(profile);
-
-    let icp_stats = config
-        .icp
-        .as_ref()
-        .map(|icp| promote_indirect_calls(&mut module, &mut weights, profile, icp));
-    let inline_stats = config
-        .inliner
-        .as_ref()
-        .map(|inl| run_inliner(&mut module, &weights, profile, inl));
-
-    let harden_report = pibe_harden::apply(&mut module, config.defenses);
-    let audit = audit(&module, config.defenses);
-    let size = ImageSize::of(&module, config.defenses);
-
-    debug_assert!(module.verify().is_ok(), "pipeline must preserve validity");
-    Image {
-        module,
-        config: *config,
-        icp_stats,
-        inline_stats,
-        harden_report,
-        audit,
-        size,
-    }
+    Image::builder(base)
+        .profile(profile)
+        .config(*config)
+        .build()
+        .expect("pipeline must preserve validity")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pibe_harden::DefenseSet;
+    use pibe_ir::FunctionBuilder;
     use pibe_kernel::{
         measure::collect_profile,
         workloads::{lmbench_suite, WorkloadSpec},
@@ -113,7 +290,11 @@ mod tests {
     #[test]
     fn full_image_elides_and_grows() {
         let (k, p) = profiled_kernel();
-        let img = build_image(&k.module, &p, &PibeConfig::full(Budget::P99_9, DefenseSet::ALL));
+        let img = build_image(
+            &k.module,
+            &p,
+            &PibeConfig::full(Budget::P99_9, DefenseSet::ALL),
+        );
         let icp = img.icp_stats.unwrap();
         let inl = img.inline_stats.unwrap();
         assert!(icp.promoted_targets > 0, "hot targets promoted");
@@ -160,6 +341,77 @@ mod tests {
             img.size.bytes.div_ceil(2 * 1024 * 1024)
         );
         let hard = build_image(&k.module, &p, &PibeConfig::lto_with(DefenseSet::ALL));
-        assert!(hard.size.bytes > img.size.bytes, "defense sequences add bytes");
+        assert!(
+            hard.size.bytes > img.size.bytes,
+            "defense sequences add bytes"
+        );
+    }
+
+    #[test]
+    fn builder_matches_build_image_and_defaults_to_lto() {
+        let (k, p) = profiled_kernel();
+        let via_fn = build_image(&k.module, &p, &PibeConfig::lax(DefenseSet::ALL));
+        let via_builder = Image::builder(&k.module)
+            .profile(&p)
+            .config(PibeConfig::lax(DefenseSet::ALL))
+            .build()
+            .expect("builds");
+        assert_eq!(via_fn.size, via_builder.size);
+        assert_eq!(via_fn.icp_stats, via_builder.icp_stats);
+        assert_eq!(via_fn.inline_stats, via_builder.inline_stats);
+
+        // Without an explicit config the builder produces the LTO baseline.
+        let default = Image::builder(&k.module)
+            .profile(&p)
+            .build()
+            .expect("builds");
+        assert_eq!(default.config, PibeConfig::lto());
+        assert!(default.icp_stats.is_none());
+    }
+
+    #[test]
+    fn build_metrics_cover_every_stage() {
+        let (k, p) = profiled_kernel();
+        let img = Image::builder(&k.module)
+            .profile(&p)
+            .config(PibeConfig::lax(DefenseSet::ALL))
+            .build()
+            .expect("builds");
+        let m = img.metrics;
+        assert!(m.clone_ns > 0 && m.icp_ns > 0 && m.inline_ns > 0);
+        assert!(m.harden_ns > 0 && m.verify_ns > 0);
+        let stage_sum: u64 = m.stages().iter().map(|(_, ns)| ns).sum();
+        assert!(m.total_ns >= stage_sum, "total covers the stages");
+
+        let mut agg = BuildMetrics::default();
+        agg.accumulate(&m);
+        agg.accumulate(&m);
+        assert_eq!(agg.total_ns, 2 * m.total_ns);
+        assert_eq!(agg.stages()[1].1, 2 * m.icp_ns);
+    }
+
+    #[test]
+    fn invalid_pipeline_output_is_reported_in_release_builds() {
+        // A function whose entry jumps to itself violates the IR's "every
+        // function returns" invariant; with no optimization or defenses the
+        // pipeline passes the module through and must surface the
+        // verification failure (even in release builds, where the old
+        // `debug_assert!` was compiled out).
+        let mut m = Module::new("broken");
+        let mut b = FunctionBuilder::new("spin", 0);
+        b.op(pibe_ir::OpKind::Alu);
+        b.ret();
+        let f = m.add_function(b.build());
+        m.function_mut(f).blocks_mut()[0].term = pibe_ir::Terminator::Jump {
+            target: pibe_ir::BlockId::from_raw(0),
+        };
+        let p = Profile::new();
+        let err = Image::builder(&m)
+            .profile(&p)
+            .config(PibeConfig::lto())
+            .build()
+            .expect_err("invalid module must be rejected");
+        let PipelineError::InvalidModule(_) = err;
+        assert!(err.to_string().contains("invalid module"));
     }
 }

@@ -176,8 +176,7 @@ mod tests {
             ret_retpolines: false,
         });
         assert!(
-            combined
-                > forward_delta(DefenseSet::RETPOLINES) + forward_delta(DefenseSet::LVI_CFI)
+            combined > forward_delta(DefenseSet::RETPOLINES) + forward_delta(DefenseSet::LVI_CFI)
         );
     }
 
@@ -193,8 +192,7 @@ mod tests {
     #[test]
     fn return_retpolines_pay_bytes_at_every_site() {
         assert!(
-            return_site_bytes(DefenseSet::RET_RETPOLINES)
-                > return_site_bytes(DefenseSet::LVI_CFI)
+            return_site_bytes(DefenseSet::RET_RETPOLINES) > return_site_bytes(DefenseSet::LVI_CFI)
         );
         assert!(return_site_bytes(DefenseSet::ALL) > return_site_bytes(DefenseSet::RET_RETPOLINES));
     }

@@ -218,7 +218,11 @@ mod tests {
             let mut b = FunctionBuilder::new(name, 0);
             b.op(OpKind::Alu);
             for (i, callee) in calls.iter().enumerate() {
-                b.call(SiteId::from_raw(id.index() as u64 * 10 + i as u64), *callee, 0);
+                b.call(
+                    SiteId::from_raw(id.index() as u64 * 10 + i as u64),
+                    *callee,
+                    0,
+                );
             }
             b.ret();
             let mut f = b.build();

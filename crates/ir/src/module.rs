@@ -137,10 +137,7 @@ impl Module {
 
     /// Total code size in model bytes (the paper's "img size" numerator).
     pub fn code_bytes(&self) -> u64 {
-        self.functions
-            .iter()
-            .map(crate::size::function_bytes)
-            .sum()
+        self.functions.iter().map(crate::size::function_bytes).sum()
     }
 }
 

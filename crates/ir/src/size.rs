@@ -55,9 +55,7 @@ pub fn term_cost(term: &Terminator) -> u32 {
 pub fn function_cost(f: &Function) -> u32 {
     f.blocks()
         .iter()
-        .map(|b| {
-            b.insts.iter().map(inst_cost).sum::<u32>() + term_cost(&b.term)
-        })
+        .map(|b| b.insts.iter().map(inst_cost).sum::<u32>() + term_cost(&b.term))
         .sum()
 }
 
@@ -95,10 +93,7 @@ pub fn term_bytes(term: &Terminator) -> u32 {
 
 /// Model machine-code bytes of a function (blocks laid out consecutively).
 pub fn function_bytes(f: &Function) -> u64 {
-    f.blocks()
-        .iter()
-        .map(|b| block_bytes_of(b) as u64)
-        .sum()
+    f.blocks().iter().map(|b| block_bytes_of(b) as u64).sum()
 }
 
 fn block_bytes_of(b: &crate::func::Block) -> u32 {

@@ -103,9 +103,7 @@ fn parse_function(
     let mut attrs = FnAttrs::default();
     for token in open[close + 1..].split_whitespace() {
         if let Some(v) = token.strip_prefix("frame=") {
-            frame = v
-                .parse()
-                .map_err(|_| err(header_line, "bad frame size"))?;
+            frame = v.parse().map_err(|_| err(header_line, "bad frame size"))?;
         } else if let Some(list) = token.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
             for a in list.split(',') {
                 match a {
@@ -117,7 +115,10 @@ fn parse_function(
                 }
             }
         } else {
-            return Err(err(header_line, format!("unexpected header token {token:?}")));
+            return Err(err(
+                header_line,
+                format!("unexpected header token {token:?}"),
+            ));
         }
     }
 

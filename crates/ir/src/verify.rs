@@ -120,13 +120,12 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
                 }
             }
             match &block.term {
-                Terminator::Switch { weights, cases, .. }
-                    if weights.len() != cases.len() => {
-                        return Err(VerifyError::MalformedSwitch {
-                            func: fid,
-                            block: bid,
-                        });
-                    }
+                Terminator::Switch { weights, cases, .. } if weights.len() != cases.len() => {
+                    return Err(VerifyError::MalformedSwitch {
+                        func: fid,
+                        block: bid,
+                    });
+                }
                 Terminator::Branch {
                     cond: Cond::TargetIs { site, target },
                     ..

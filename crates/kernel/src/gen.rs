@@ -775,8 +775,14 @@ mod tests {
 
     #[test]
     fn census_scales_with_spec() {
-        let small = Kernel::generate(KernelSpec { seed: 1, scale: 0.02 });
-        let bigger = Kernel::generate(KernelSpec { seed: 1, scale: 0.06 });
+        let small = Kernel::generate(KernelSpec {
+            seed: 1,
+            scale: 0.02,
+        });
+        let bigger = Kernel::generate(KernelSpec {
+            seed: 1,
+            scale: 0.06,
+        });
         let cs = small.module.census();
         let cb = bigger.module.census();
         assert!(cb.returns > cs.returns);

@@ -242,8 +242,7 @@ mod tests {
         let k = kernel();
         let wl = WorkloadSpec::nginx();
         let mb = MacroBench::nginx(6);
-        let (t, stats) =
-            run_throughput(&k.module, &k, &wl, &mb, SimConfig::default(), 7).unwrap();
+        let (t, stats) = run_throughput(&k.module, &k, &wl, &mb, SimConfig::default(), 7).unwrap();
         assert!(t.requests_per_sec > 0.0);
         assert!(stats.icalls > 0, "requests exercise dispatch sites");
     }
@@ -255,7 +254,11 @@ mod tests {
         let suite = lmbench_suite(8);
         let p = collect_profile(&k, &wl, &suite, 2, 7).unwrap();
         let stats = p.stats();
-        assert!(stats.direct_sites > 50, "direct sites: {}", stats.direct_sites);
+        assert!(
+            stats.direct_sites > 50,
+            "direct sites: {}",
+            stats.direct_sites
+        );
         assert!(stats.indirect_sites > 5);
         assert!(stats.return_weight > stats.direct_weight / 2);
         // Interface sites dominate observed indirect calls.

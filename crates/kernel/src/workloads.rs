@@ -45,8 +45,8 @@ impl WorkloadSpec {
                 .targets
                 .iter()
                 .map(|(f, p)| {
-                    let jitter =
-                        1 + (splitmix(self.oracle_seed ^ iface.site.raw() ^ f.index() as u64) % 16)
+                    let jitter = 1
+                        + (splitmix(self.oracle_seed ^ iface.site.raw() ^ f.index() as u64) % 16)
                             as u32;
                     (*f, jitter * self.weight_of(*p))
                 })
@@ -157,7 +157,11 @@ pub fn lmbench_suite(iters: u32) -> Vec<Benchmark> {
             );
             Benchmark {
                 syscall: *s,
-                iterations: if heavy { iters.div_ceil(4).max(2) } else { iters },
+                iterations: if heavy {
+                    iters.div_ceil(4).max(2)
+                } else {
+                    iters
+                },
                 warmup: if heavy { 1 } else { (iters / 8).max(2) },
             }
         })

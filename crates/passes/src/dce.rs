@@ -91,9 +91,8 @@ pub fn strip_unreachable(
         }
     }
     // Remap call targets.
-    let translate = |old: FuncId| {
-        forward[old.index()].expect("live function calls only live functions")
-    };
+    let translate =
+        |old: FuncId| forward[old.index()].expect("live function calls only live functions");
     for id in stripped.func_ids().collect::<Vec<_>>() {
         for block in stripped.function_mut(id).blocks_mut() {
             for inst in &mut block.insts {
@@ -190,12 +189,17 @@ mod tests {
         // Give root an ICP-style guard naming dead1.
         let s = m.fresh_site();
         let f = m.function_mut(root);
-        f.blocks_mut()[0].insts.insert(0, pibe_ir::Inst::ResolveTarget { site: s });
+        f.blocks_mut()[0]
+            .insts
+            .insert(0, pibe_ir::Inst::ResolveTarget { site: s });
         let ret_block = pibe_ir::Block::new(Vec::new(), Terminator::Return);
         f.blocks_mut().push(ret_block);
         let last = BlockId::from_raw(f.blocks().len() as u32 - 1);
         f.blocks_mut()[0].term = Terminator::Branch {
-            cond: Cond::TargetIs { site: s, target: dead1 },
+            cond: Cond::TargetIs {
+                site: s,
+                target: dead1,
+            },
             then_bb: last,
             else_bb: last,
         };
@@ -230,7 +234,10 @@ mod tests {
             stats.removed_functions
         );
         assert!(
-            stripped.functions().iter().all(|f| !f.name().starts_with("cold_")),
+            stripped
+                .functions()
+                .iter()
+                .all(|f| !f.name().starts_with("cold_")),
             "no cold function survives"
         );
         // Every syscall entry survives and still verifies.

@@ -39,7 +39,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// ICP tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Configurations are hashable so image caches (the `ImageFarm` in the core
+/// crate) can key builds by the exact configuration that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct IcpConfig {
     /// Optimization budget over cumulative `(site, target)` weight.
     pub budget: Budget,
@@ -248,7 +251,11 @@ fn promote_site(
                     target: promos[i as usize].1,
                 },
                 then_bb: direct_id(i),
-                else_bb: if i + 1 < n { guard_id(i + 1) } else { fallback_id },
+                else_bb: if i + 1 < n {
+                    guard_id(i + 1)
+                } else {
+                    fallback_id
+                },
             },
         ));
     }
@@ -410,8 +417,7 @@ mod tests {
             p.record_indirect(site, t);
         }
         let mut w = SiteWeights::new();
-        let stats =
-            promote_indirect_calls(&mut m, &mut w, &p, &IcpConfig::default());
+        let stats = promote_indirect_calls(&mut m, &mut w, &p, &IcpConfig::default());
         assert_eq!(stats.promoted_sites, 0);
         assert_eq!(stats.skipped_sites, 1);
         assert_eq!(m.census().indirect_calls, 1, "module unchanged");

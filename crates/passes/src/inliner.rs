@@ -34,7 +34,11 @@ use std::collections::BinaryHeap;
 
 /// Inliner tuning knobs, defaulting to the paper's experimentally selected
 /// values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Hashable (like [`IcpConfig`](crate::IcpConfig)) so image caches can key
+/// builds by configuration; `Eq` is total because [`Budget`] construction
+/// rejects NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct InlinerConfig {
     /// Rule 1 optimization budget over cumulative direct-call weight.
     pub budget: Budget,
@@ -329,8 +333,7 @@ mod tests {
         // foo_2 (cost ~300, weight 500), foo_3 (cost ~200, weight 500).
         // Without Rule 3, greedy would inline foo_1 first and deplete the
         // budget; with Rule 3, foo_1 is skipped and both foo_2 and foo_3 fit.
-        let (mut m, p, _sites, _root) =
-            chain_module(&[(2400, 1000), (60, 500), (40, 500)]);
+        let (mut m, p, _sites, _root) = chain_module(&[(2400, 1000), (60, 500), (40, 500)]);
         let w = SiteWeights::from_profile(&p);
         let stats = run_inliner(&mut m, &w, &p, &InlinerConfig::default());
         assert_eq!(stats.blocked_rule3_weight, 1000, "foo_1 skipped by Rule 3");
@@ -349,7 +352,10 @@ mod tests {
             ..InlinerConfig::default()
         };
         let stats = run_inliner(&mut m, &w, &p, &cfg);
-        assert_eq!(stats.blocked_rule3_weight, 0, "rules disabled for hot sites");
+        assert_eq!(
+            stats.blocked_rule3_weight, 0,
+            "rules disabled for hot sites"
+        );
         assert_eq!(stats.inlined_sites, 3);
     }
 

@@ -63,6 +63,7 @@ pub mod dce;
 pub mod icp;
 pub mod inliner;
 pub mod spectre_v1;
+pub mod stats;
 mod transform;
 mod weights;
 
@@ -70,5 +71,6 @@ pub use dce::{strip_unreachable, DceMap, DceStats};
 pub use icp::{promote_indirect_calls, IcpConfig, IcpStats};
 pub use inliner::{run_inliner, InlinerConfig, InlinerStats};
 pub use spectre_v1::{fence_all_conditionals, fence_gadgets, find_v1_gadgets, V1Gadget};
+pub use stats::PassStats;
 pub use transform::{inline_call_site, InlineError, InlinedCall};
 pub use weights::SiteWeights;

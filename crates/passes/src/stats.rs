@@ -1,0 +1,93 @@
+//! A uniform view over per-pass statistics, consumed by build-metrics
+//! reporting in the core crate (pass throughput = transformed sites per
+//! second of pass wall-clock time).
+
+use crate::icp::IcpStats;
+use crate::inliner::InlinerStats;
+
+/// Common accessors over the statistics either optimization pass returns.
+///
+/// Both passes rewrite call sites selected by a budget over dynamic weight;
+/// this trait exposes the two numbers every pass shares so aggregated
+/// reports (the `tables` binary's build-metrics section) can treat passes
+/// uniformly.
+pub trait PassStats {
+    /// Human-readable pass name for report rows.
+    fn pass_name(&self) -> &'static str;
+
+    /// Call sites the pass rewrote.
+    fn transformed_sites(&self) -> u64;
+
+    /// Dynamic weight the pass moved off the slow path: promoted to guarded
+    /// direct calls (ICP) or elided entirely (inliner).
+    fn transformed_weight(&self) -> u64;
+
+    /// Sites the pass examined as candidates.
+    fn candidate_sites(&self) -> u64;
+}
+
+impl PassStats for IcpStats {
+    fn pass_name(&self) -> &'static str {
+        "icp"
+    }
+
+    fn transformed_sites(&self) -> u64 {
+        self.promoted_sites
+    }
+
+    fn transformed_weight(&self) -> u64 {
+        self.promoted_weight
+    }
+
+    fn candidate_sites(&self) -> u64 {
+        self.total_sites
+    }
+}
+
+impl PassStats for InlinerStats {
+    fn pass_name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn transformed_sites(&self) -> u64 {
+        self.inlined_sites
+    }
+
+    fn transformed_weight(&self) -> u64 {
+        self.inlined_weight
+    }
+
+    fn candidate_sites(&self) -> u64 {
+        self.candidate_sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_views_read_the_matching_fields() {
+        let icp = IcpStats {
+            promoted_sites: 3,
+            promoted_weight: 700,
+            total_sites: 9,
+            ..IcpStats::default()
+        };
+        assert_eq!(icp.pass_name(), "icp");
+        assert_eq!(icp.transformed_sites(), 3);
+        assert_eq!(icp.transformed_weight(), 700);
+        assert_eq!(PassStats::candidate_sites(&icp), 9);
+
+        let inl = InlinerStats {
+            inlined_sites: 2,
+            inlined_weight: 450,
+            candidate_sites: 5,
+            ..InlinerStats::default()
+        };
+        assert_eq!(inl.pass_name(), "inline");
+        assert_eq!(inl.transformed_sites(), 2);
+        assert_eq!(inl.transformed_weight(), 450);
+        assert_eq!(PassStats::candidate_sites(&inl), 5);
+    }
+}

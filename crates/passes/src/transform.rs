@@ -114,10 +114,7 @@ pub fn inline_call_site(
     let calling = &mut blocks[bid.index()];
     let tail: Vec<Inst> = calling.insts.split_off(idx + 1);
     calling.insts.pop(); // drop the call itself
-    let cont_term = std::mem::replace(
-        &mut calling.term,
-        Terminator::Jump { target: entry_id },
-    );
+    let cont_term = std::mem::replace(&mut calling.term, Terminator::Jump { target: entry_id });
     blocks.push(Block::new(tail, cont_term)); // continuation = cont_id
 
     // Splice in the callee blocks: offset ids, redirect returns.

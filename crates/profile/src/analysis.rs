@@ -136,7 +136,11 @@ mod tests {
             p.record_direct(site(s));
         }
         let c = direct_concentration(&p);
-        assert!(c.sites_for_90 < 0.02, "one site covers 90%: {}", c.sites_for_90);
+        assert!(
+            c.sites_for_90 < 0.02,
+            "one site covers 90%: {}",
+            c.sites_for_90
+        );
         assert!(c.gini > 0.9, "gini {:.3}", c.gini);
     }
 

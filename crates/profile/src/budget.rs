@@ -58,6 +58,17 @@ impl Budget {
     }
 }
 
+// `Budget` admits total equality and hashing even though it wraps an `f64`:
+// construction rejects NaN, and the valid range `(0, 100]` excludes `-0.0`,
+// so bitwise identity coincides with `==` for every representable budget.
+impl Eq for Budget {}
+
+impl std::hash::Hash for Budget {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
 impl fmt::Display for Budget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}%", self.0)
@@ -72,10 +83,7 @@ impl fmt::Display for Budget {
 /// contains the minimal prefix whose cumulative weight is `>=`
 /// `budget.fraction() * total_weight`. Zero-weight candidates are never
 /// selected.
-pub fn select_by_budget<T: Ord + Clone>(
-    candidates: &[(T, u64)],
-    budget: Budget,
-) -> Vec<(T, u64)> {
+pub fn select_by_budget<T: Ord + Clone>(candidates: &[(T, u64)], budget: Budget) -> Vec<(T, u64)> {
     let total: u128 = candidates.iter().map(|(_, w)| u128::from(*w)).sum();
     if total == 0 {
         return Vec::new();

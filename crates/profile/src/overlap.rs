@@ -30,11 +30,7 @@ pub struct OverlapReport {
 fn icp_candidates(p: &Profile, budget: Budget) -> Vec<((SiteId, FuncId), u64)> {
     let cands: Vec<((SiteId, FuncId), u64)> = p
         .iter_indirect()
-        .flat_map(|(site, entries)| {
-            entries
-                .iter()
-                .map(move |e| ((site, e.target), e.count))
-        })
+        .flat_map(|(site, entries)| entries.iter().map(move |e| ((site, e.target), e.count)))
         .collect();
     select_by_budget(&cands, budget)
 }

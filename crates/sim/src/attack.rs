@@ -184,7 +184,10 @@ mod tests {
         let mut r = AttackReport::default();
         r.observe_icall_with(DefenseSet::NONE, false, false, true);
         assert_eq!(r.btb_hijackable_icalls, 0, "cross-domain training blocked");
-        assert_eq!(r.btb_kernel_trained_icalls, 1, "same-domain training remains");
+        assert_eq!(
+            r.btb_kernel_trained_icalls, 1,
+            "same-domain training remains"
+        );
         // Retpolines subsume eIBRS entirely.
         let mut r = AttackReport::default();
         r.observe_icall_with(DefenseSet::RETPOLINES, false, false, true);

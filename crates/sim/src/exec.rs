@@ -243,10 +243,7 @@ impl ExecStats {
     /// Cycles left after subtracting the attributed categories: the
     /// workload's base compute plus (predicted) control transfer costs.
     pub fn cycles_base(&self) -> u64 {
-        self.cycles
-            - self.cycles_defense
-            - self.cycles_prediction
-            - self.cycles_locality
+        self.cycles - self.cycles_defense - self.cycles_prediction - self.cycles_locality
     }
 }
 
@@ -312,7 +309,13 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
             cfg,
             btb: Btb::new(m.btb_entries),
             rsb: Rsb::new(m.rsb_depth),
-            icache: ICache::new(m.icache_bytes, m.icache_line, m.icache_ways, m.l2_bytes, m.l2_ways),
+            icache: ICache::new(
+                m.icache_bytes,
+                m.icache_line,
+                m.icache_ways,
+                m.l2_bytes,
+                m.l2_ways,
+            ),
             frames: Vec::new(),
             steps: 0,
             next_token: 1,
@@ -694,7 +697,8 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
                     }
                 } else {
                     // Compare chain: one cmp+jcc per case tested.
-                    self.stats.cycles += (matched_idx as u64 + 1) * (m.cycles_simple + m.cycles_branch);
+                    self.stats.cycles +=
+                        (matched_idx as u64 + 1) * (m.cycles_simple + m.cycles_branch);
                 }
                 self.goto(dest);
                 Ok(())
@@ -731,8 +735,8 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
     }
 
     fn pick_case(&mut self, weights: &[u16], default_weight: u16) -> Option<usize> {
-        let total: u32 = weights.iter().map(|w| u32::from(*w)).sum::<u32>()
-            + u32::from(default_weight);
+        let total: u32 =
+            weights.iter().map(|w| u32::from(*w)).sum::<u32>() + u32::from(default_weight);
         if total == 0 {
             return None;
         }
@@ -959,7 +963,14 @@ mod tests {
         let fallback = b.new_block();
         let merge = b.new_block();
         b.resolve_target(s);
-        b.branch(Cond::TargetIs { site: s, target: leaf }, direct, fallback);
+        b.branch(
+            Cond::TargetIs {
+                site: s,
+                target: leaf,
+            },
+            direct,
+            fallback,
+        );
         b.switch_to(direct);
         b.call(s_promo, leaf, 0);
         b.jump(merge);
@@ -1067,8 +1078,7 @@ mod tests {
         // Refilling costs cycles on every entry.
         let mut plain = Simulator::new(&m, FixedResolver(shallow), 7, SimConfig::default());
         plain.call_entry(shallow).unwrap();
-        let mut refilled =
-            Simulator::new(&m, FixedResolver(shallow), 7, cfg);
+        let mut refilled = Simulator::new(&m, FixedResolver(shallow), 7, cfg);
         let r = refilled.call_entry(shallow).unwrap();
         assert!(r > plain.cycles(), "stuffing the RSB is not free");
     }

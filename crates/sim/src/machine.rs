@@ -207,7 +207,13 @@ pub struct ICache {
 impl ICache {
     /// Creates the hierarchy with `l1_bytes`/`l1_ways` over `line`-byte
     /// lines, backed by `l2_bytes`/`l2_ways`.
-    pub fn new(l1_bytes: usize, line: usize, l1_ways: usize, l2_bytes: usize, l2_ways: usize) -> Self {
+    pub fn new(
+        l1_bytes: usize,
+        line: usize,
+        l1_ways: usize,
+        l2_bytes: usize,
+        l2_ways: usize,
+    ) -> Self {
         let line = line.next_power_of_two().max(16);
         ICache {
             l1: CacheLevel::new(l1_bytes, line, l1_ways),

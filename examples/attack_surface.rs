@@ -28,7 +28,10 @@ fn main() {
 
     let postures: [(&str, PibeConfig); 4] = [
         ("undefended LTO", PibeConfig::lto()),
-        ("retpolines only", PibeConfig::lto_with(DefenseSet::RETPOLINES)),
+        (
+            "retpolines only",
+            PibeConfig::lto_with(DefenseSet::RETPOLINES),
+        ),
         ("all defenses", PibeConfig::lto_with(DefenseSet::ALL)),
         ("all defenses + PIBE", PibeConfig::lax(DefenseSet::ALL)),
     ];

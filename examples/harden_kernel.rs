@@ -63,7 +63,7 @@ fn main() {
     );
 
     let inl = pibe.inline_stats.expect("inliner ran");
-    let icp = pibe.icp_stats.expect("icp ran");
+    let icp = pibe.icp_stats.clone().expect("icp ran");
     println!(
         "\nPIBE elided {} indirect-call targets and {} call/return pairs \
          ({} of candidate weight promoted, image grew {:.1}%)",

@@ -8,7 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use pibe::{build_image, PibeConfig};
+use pibe::{Image, PibeConfig};
 use pibe_harden::DefenseSet;
 use pibe_ir::{FuncId, FunctionBuilder, Module, OpKind, SiteId};
 use pibe_profile::{Budget, Profile};
@@ -51,11 +51,11 @@ fn main() {
 
     // -- 3. The PIBE pipeline: promote + inline at a 99.9% budget, then
     //       harden everything that remains with all three defenses.
-    let image = build_image(
-        &module,
-        &profile,
-        &PibeConfig::full(Budget::P99_9, DefenseSet::ALL),
-    );
+    let image = Image::builder(&module)
+        .profile(&profile)
+        .config(PibeConfig::full(Budget::P99_9, DefenseSet::ALL))
+        .build()
+        .expect("pipeline preserves validity");
     println!("\n== after PIBE ==\n{}", image.module);
     let icp = image.icp_stats.expect("icp ran");
     let inl = image.inline_stats.expect("inliner ran");
@@ -65,9 +65,7 @@ fn main() {
     );
     println!(
         "audit: {} protected icalls, {} protected returns, {} vulnerable",
-        image.audit.protected_icalls,
-        image.audit.protected_returns,
-        image.audit.vulnerable_icalls
+        image.audit.protected_icalls, image.audit.protected_returns, image.audit.vulnerable_icalls
     );
 
     // -- 4. Measure: hardened-unoptimized vs hardened-PIBE.
@@ -98,12 +96,7 @@ fn resolver(site: SiteId, paths: &[FuncId]) -> MapResolver {
     r
 }
 
-fn run_profiling(
-    module: &Module,
-    main_fn: FuncId,
-    site: SiteId,
-    paths: &[FuncId],
-) -> Profile {
+fn run_profiling(module: &Module, main_fn: FuncId, site: SiteId, paths: &[FuncId]) -> Profile {
     let cfg = SimConfig {
         collect_profile: true,
         ..SimConfig::default()

@@ -29,12 +29,30 @@ fn main() {
     println!("{table}");
 
     println!("paper's numbers for comparison:");
-    println!("  shared ICP candidate weight at 99%:     58%   (measured {:.0}%)", summary.icp_shared_pct);
-    println!("  shared inline candidate weight at 99%:  67%   (measured {:.0}%)", summary.inline_shared_pct);
-    println!("  unoptimized, all defenses:              149.1% (measured {:.1}%)", summary.unoptimized_pct);
-    println!("  Apache-trained:                         22.5%  (measured {:.1}%)", summary.apache_trained_pct);
-    println!("  LMBench-trained (matched):              10.6%  (measured {:.1}%)", summary.matched_pct);
-    println!("  default LLVM inliner, matched profile:  100.2% (measured {:.1}%)", summary.llvm_inliner_pct);
+    println!(
+        "  shared ICP candidate weight at 99%:     58%   (measured {:.0}%)",
+        summary.icp_shared_pct
+    );
+    println!(
+        "  shared inline candidate weight at 99%:  67%   (measured {:.0}%)",
+        summary.inline_shared_pct
+    );
+    println!(
+        "  unoptimized, all defenses:              149.1% (measured {:.1}%)",
+        summary.unoptimized_pct
+    );
+    println!(
+        "  Apache-trained:                         22.5%  (measured {:.1}%)",
+        summary.apache_trained_pct
+    );
+    println!(
+        "  LMBench-trained (matched):              10.6%  (measured {:.1}%)",
+        summary.matched_pct
+    );
+    println!(
+        "  default LLVM inliner, matched profile:  100.2% (measured {:.1}%)",
+        summary.llvm_inliner_pct
+    );
 
     // Overlap across several budgets, for the curious.
     println!("\ncandidate overlap (LMBench reference vs Apache trained):");

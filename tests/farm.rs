@@ -1,0 +1,126 @@
+//! The parallel experiment engine must be an invisible optimization:
+//! images served by a multi-threaded [`ImageFarm`] have to be
+//! bit-identical to images built sequentially, and every distinct
+//! configuration must be built exactly once no matter how often — or how
+//! concurrently — it is requested.
+
+use pibe::{Image, ImageFarm, PibeConfig};
+use pibe_harden::DefenseSet;
+use pibe_kernel::measure::collect_profile;
+use pibe_kernel::workloads::{lmbench_suite, WorkloadSpec};
+use pibe_kernel::{Kernel, KernelSpec};
+use pibe_profile::{Budget, Profile};
+use std::sync::Arc;
+
+fn lab() -> (Kernel, Profile) {
+    let kernel = Kernel::generate(KernelSpec::test());
+    let profile = collect_profile(
+        &kernel,
+        &WorkloadSpec::lmbench(),
+        &lmbench_suite(8),
+        2,
+        0xBA5E,
+    )
+    .expect("profiling succeeds");
+    (kernel, profile)
+}
+
+/// Every paper configuration family, including duplicates to exercise the
+/// cache.
+fn matrix() -> Vec<PibeConfig> {
+    let all = DefenseSet::ALL;
+    vec![
+        PibeConfig::lto(),
+        PibeConfig::lto_with(all),
+        PibeConfig::lto_with(DefenseSet::RETPOLINES),
+        PibeConfig::icp_only(Budget::P99, DefenseSet::RETPOLINES),
+        PibeConfig::icp_only(Budget::P99_999, DefenseSet::RETPOLINES),
+        PibeConfig::full(Budget::P99, all),
+        PibeConfig::full(Budget::P99_9, all),
+        PibeConfig::full(Budget::P99_9999, all),
+        PibeConfig::lax(all),
+        PibeConfig::pibe_baseline(),
+        PibeConfig::lax(all), // duplicate
+        PibeConfig::lto(),    // duplicate
+    ]
+}
+
+/// A parallel farm produces exactly the images a sequential build does:
+/// same code bytes, same sizes, same pass statistics, same audit.
+#[test]
+fn parallel_farm_matches_sequential_builds() {
+    let (kernel, profile) = lab();
+    let configs = matrix();
+
+    let farm = ImageFarm::new(kernel.module.clone(), profile.clone()).with_threads(4);
+    let parallel = farm.images(&configs).expect("matrix builds");
+
+    for (config, built) in configs.iter().zip(&parallel) {
+        let sequential = Image::builder(&kernel.module)
+            .profile(&profile)
+            .config(*config)
+            .build()
+            .expect("pipeline preserves validity");
+        assert_eq!(
+            built.module.code_bytes(),
+            sequential.module.code_bytes(),
+            "code bytes diverge under {config:?}"
+        );
+        assert_eq!(
+            built.size, sequential.size,
+            "sizes diverge under {config:?}"
+        );
+        assert_eq!(
+            built.icp_stats, sequential.icp_stats,
+            "icp stats diverge under {config:?}"
+        );
+        assert_eq!(
+            built.inline_stats, sequential.inline_stats,
+            "inline stats diverge under {config:?}"
+        );
+        assert_eq!(
+            built.audit, sequential.audit,
+            "audit diverges under {config:?}"
+        );
+    }
+}
+
+/// Duplicate configurations — across and within request batches — resolve
+/// to the same cached `Arc`, and the farm runs the pipeline exactly once
+/// per distinct configuration.
+#[test]
+fn farm_builds_each_distinct_config_exactly_once() {
+    let (kernel, profile) = lab();
+    let configs = matrix();
+    let distinct = 10;
+
+    let farm = ImageFarm::new(kernel.module, profile).with_threads(4);
+    let images = farm.images(&configs).expect("matrix builds");
+    assert_eq!(images.len(), configs.len());
+
+    // In-batch duplicates share storage.
+    assert!(Arc::ptr_eq(&images[8], &images[10]), "lax(ALL) duplicated");
+    assert!(Arc::ptr_eq(&images[0], &images[11]), "lto() duplicated");
+
+    let stats = farm.stats();
+    assert_eq!(
+        stats.builds, distinct,
+        "one pipeline run per distinct config"
+    );
+    assert_eq!(stats.cached, distinct as usize);
+    assert_eq!(stats.requests, configs.len() as u64);
+
+    // Later single requests are cache hits on the same Arc.
+    let again = farm
+        .image(&PibeConfig::lax(DefenseSet::ALL))
+        .expect("cached");
+    assert!(Arc::ptr_eq(&again, &images[8]));
+    assert_eq!(farm.stats().builds, distinct, "no rebuild on re-request");
+
+    // Every stage left a wall-clock trace.
+    let metrics = farm.aggregate_metrics();
+    assert!(metrics.total_ns > 0);
+    for (stage, ns) in metrics.stages() {
+        assert!(ns > 0, "stage {stage} was never timed");
+    }
+}

@@ -20,10 +20,7 @@ fn every_entry_reaches_its_subsystem_trunks() {
                 .module
                 .find_function(&format!("{sub}_t0"))
                 .expect("trunk head exists");
-            assert!(
-                reach.contains(&head),
-                "{sc} must reach its {sub} trunk"
-            );
+            assert!(reach.contains(&head), "{sc} must reach its {sub} trunk");
         }
     }
 }
@@ -92,7 +89,10 @@ fn multi_target_sites_span_providers() {
             found_spanning = true;
         }
     }
-    assert!(found_spanning, "dispatch tables span provider implementations");
+    assert!(
+        found_spanning,
+        "dispatch tables span provider implementations"
+    );
 }
 
 #[test]
@@ -108,7 +108,10 @@ fn asm_sites_live_in_the_module_as_flagged_instructions() {
     for f in k.module.functions() {
         for block in f.blocks() {
             for inst in &block.insts {
-                if let Inst::CallIndirect { site, asm: true, .. } = inst {
+                if let Inst::CallIndirect {
+                    site, asm: true, ..
+                } = inst
+                {
                     assert!(asm_sites.contains(site));
                     found += 1;
                 }

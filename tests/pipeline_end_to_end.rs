@@ -1,7 +1,7 @@
 //! End-to-end pipeline invariants across crates: the transformations must
 //! preserve program semantics, keep the IR valid, and stay deterministic.
 
-use pibe::{build_image, PibeConfig};
+use pibe::{Image, PibeConfig};
 use pibe_harden::DefenseSet;
 use pibe_kernel::measure::{collect_profile, run_latency};
 use pibe_kernel::workloads::{lmbench_suite, Benchmark, WorkloadSpec};
@@ -35,15 +35,9 @@ fn transformations_preserve_executed_ops() {
         warmup: 0,
     };
     let ops_of = |module: &pibe_ir::Module| {
-        let (_, stats, _) = run_latency(
-            module,
-            &kernel,
-            &workload,
-            bench,
-            SimConfig::default(),
-            99,
-        )
-        .expect("run succeeds");
+        let (_, stats, _) =
+            run_latency(module, &kernel, &workload, bench, SimConfig::default(), 99)
+                .expect("run succeeds");
         stats.ops
     };
     let base_ops = ops_of(&kernel.module);
@@ -54,7 +48,11 @@ fn transformations_preserve_executed_ops() {
         PibeConfig::lax(DefenseSet::NONE),
         PibeConfig::lax(DefenseSet::ALL),
     ] {
-        let image = build_image(&kernel.module, &profile, &config);
+        let image = Image::builder(&kernel.module)
+            .profile(&profile)
+            .config(config)
+            .build()
+            .expect("pipeline preserves validity");
         assert_eq!(
             ops_of(&image.module),
             base_ops,
@@ -68,11 +66,11 @@ fn transformations_preserve_executed_ops() {
 fn pipeline_is_deterministic_end_to_end() {
     let run = || {
         let (kernel, profile) = lab();
-        let image = build_image(
-            &kernel.module,
-            &profile,
-            &PibeConfig::lax(DefenseSet::ALL),
-        );
+        let image = Image::builder(&kernel.module)
+            .profile(&profile)
+            .config(PibeConfig::lax(DefenseSet::ALL))
+            .build()
+            .expect("pipeline preserves validity");
         let bench = Benchmark {
             syscall: Syscall::Tcp,
             iterations: 10,
@@ -117,7 +115,11 @@ fn all_paper_configs_produce_valid_images() {
         PibeConfig::pibe_baseline(),
     ];
     for config in configs {
-        let image = build_image(&kernel.module, &profile, &config);
+        let image = Image::builder(&kernel.module)
+            .profile(&profile)
+            .config(config)
+            .build()
+            .expect("pipeline preserves validity");
         image
             .module
             .verify()
@@ -133,11 +135,11 @@ fn budget_monotonicity() {
     let mut prev_inlined = 0;
     let mut prev_bytes = 0;
     for budget in [Budget::P99, Budget::P99_9, Budget::P99_9999] {
-        let image = build_image(
-            &kernel.module,
-            &profile,
-            &PibeConfig::full(budget, DefenseSet::ALL),
-        );
+        let image = Image::builder(&kernel.module)
+            .profile(&profile)
+            .config(PibeConfig::full(budget, DefenseSet::ALL))
+            .build()
+            .expect("pipeline preserves validity");
         let inl = image.inline_stats.expect("inliner ran");
         assert!(
             inl.inlined_sites >= prev_inlined,
@@ -161,8 +163,15 @@ fn profile_roundtrip_reproduces_the_image() {
     let json = profile.to_json();
     let reloaded = Profile::from_json(&json).expect("profile parses back");
     assert_eq!(profile, reloaded);
-    let a = build_image(&kernel.module, &profile, &PibeConfig::lax(DefenseSet::ALL));
-    let b = build_image(&kernel.module, &reloaded, &PibeConfig::lax(DefenseSet::ALL));
+    let build = |p: &Profile| {
+        Image::builder(&kernel.module)
+            .profile(p)
+            .config(PibeConfig::lax(DefenseSet::ALL))
+            .build()
+            .expect("pipeline preserves validity")
+    };
+    let a = build(&profile);
+    let b = build(&reloaded);
     assert_eq!(a.module.code_bytes(), b.module.code_bytes());
     assert_eq!(a.inline_stats, b.inline_stats);
     assert_eq!(a.icp_stats, b.icp_stats);

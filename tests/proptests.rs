@@ -2,17 +2,14 @@
 //! profiles, and random transformations must uphold the workspace's core
 //! invariants.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-use pibe_ir::{
-    size, Cond, FnAttrs, FuncId, FunctionBuilder, Module, OpKind, SiteId,
-};
+use pibe_ir::{size, Cond, FnAttrs, FuncId, FunctionBuilder, Module, OpKind, SiteId};
 use pibe_passes::{
-    inline_call_site, promote_indirect_calls, run_inliner, IcpConfig, InlinerConfig,
-    SiteWeights,
+    inline_call_site, promote_indirect_calls, run_inliner, IcpConfig, InlinerConfig, SiteWeights,
 };
 use pibe_profile::{select_by_budget, Budget, Profile};
 use pibe_sim::{MapResolver, SimConfig, Simulator};
+use proptest::collection::vec;
+use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
 // Random program generation

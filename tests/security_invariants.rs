@@ -1,7 +1,7 @@
 //! Security invariants across the whole stack (§8.6): what each defense
 //! must and must not protect, dynamically and statically.
 
-use pibe::{build_image, eval, PibeConfig};
+use pibe::{eval, Image, PibeConfig};
 use pibe_harden::DefenseSet;
 use pibe_kernel::measure::collect_profile;
 use pibe_kernel::workloads::{lmbench_suite, WorkloadSpec};
@@ -20,6 +20,14 @@ fn lab() -> (Kernel, Profile) {
     )
     .expect("profiling succeeds");
     (kernel, profile)
+}
+
+fn build(kernel: &Kernel, profile: &Profile, config: PibeConfig) -> Image {
+    Image::builder(&kernel.module)
+        .profile(profile)
+        .config(config)
+        .build()
+        .expect("pipeline preserves validity")
 }
 
 fn surface(kernel: &Kernel, image: &pibe::Image) -> pibe_sim::AttackReport {
@@ -45,7 +53,7 @@ fn full_hardening_leaves_only_paravirt_exposed() {
         PibeConfig::lto_with(DefenseSet::ALL),
         PibeConfig::lax(DefenseSet::ALL),
     ] {
-        let image = build_image(&kernel.module, &profile, &config);
+        let image = build(&kernel, &profile, config);
         let report = surface(&kernel, &image);
         assert_eq!(report.rsb_hijackable_rets, 0, "returns all protected");
         assert_eq!(report.btb_hijackable_ijumps, 0, "jump tables disabled");
@@ -63,7 +71,7 @@ fn full_hardening_leaves_only_paravirt_exposed() {
 #[test]
 fn undefended_kernel_is_wide_open() {
     let (kernel, profile) = lab();
-    let image = build_image(&kernel.module, &profile, &PibeConfig::lto());
+    let image = build(&kernel, &profile, PibeConfig::lto());
     let report = surface(&kernel, &image);
     assert!(report.btb_hijackable_icalls > 100);
     assert!(report.rsb_hijackable_rets > 1000);
@@ -74,21 +82,18 @@ fn undefended_kernel_is_wide_open() {
 #[test]
 fn single_defenses_close_their_own_class() {
     let (kernel, profile) = lab();
-    let base = surface(
-        &kernel,
-        &build_image(&kernel.module, &profile, &PibeConfig::lto()),
-    );
+    let base = surface(&kernel, &build(&kernel, &profile, PibeConfig::lto()));
 
     let all = surface(
         &kernel,
-        &build_image(&kernel.module, &profile, &PibeConfig::lto_with(DefenseSet::ALL)),
+        &build(&kernel, &profile, PibeConfig::lto_with(DefenseSet::ALL)),
     );
     let retp = surface(
         &kernel,
-        &build_image(
-            &kernel.module,
+        &build(
+            &kernel,
             &profile,
-            &PibeConfig::lto_with(DefenseSet::RETPOLINES),
+            PibeConfig::lto_with(DefenseSet::RETPOLINES),
         ),
     );
     assert!(retp.btb_hijackable_icalls < base.btb_hijackable_icalls);
@@ -103,13 +108,16 @@ fn single_defenses_close_their_own_class() {
 
     let rr = surface(
         &kernel,
-        &build_image(
-            &kernel.module,
+        &build(
+            &kernel,
             &profile,
-            &PibeConfig::lto_with(DefenseSet::RET_RETPOLINES),
+            PibeConfig::lto_with(DefenseSet::RET_RETPOLINES),
         ),
     );
-    assert_eq!(rr.rsb_hijackable_rets, 0, "return retpolines cover Ret2spec");
+    assert_eq!(
+        rr.rsb_hijackable_rets, 0,
+        "return retpolines cover Ret2spec"
+    );
     assert_eq!(
         rr.btb_hijackable_icalls, base.btb_hijackable_icalls,
         "return retpolines do nothing for forward edges"
@@ -117,11 +125,7 @@ fn single_defenses_close_their_own_class() {
 
     let lvi = surface(
         &kernel,
-        &build_image(
-            &kernel.module,
-            &profile,
-            &PibeConfig::lto_with(DefenseSet::LVI_CFI),
-        ),
+        &build(&kernel, &profile, PibeConfig::lto_with(DefenseSet::LVI_CFI)),
     );
     // LVI fences close injectable loads except inside inline asm — the
     // same paravirt residual the fully hardened image shows.
@@ -135,12 +139,8 @@ fn single_defenses_close_their_own_class() {
 #[test]
 fn optimization_does_not_weaken_protection() {
     let (kernel, profile) = lab();
-    let unopt = build_image(
-        &kernel.module,
-        &profile,
-        &PibeConfig::lto_with(DefenseSet::ALL),
-    );
-    let opt = build_image(&kernel.module, &profile, &PibeConfig::lax(DefenseSet::ALL));
+    let unopt = build(&kernel, &profile, PibeConfig::lto_with(DefenseSet::ALL));
+    let opt = build(&kernel, &profile, PibeConfig::lax(DefenseSet::ALL));
     let unopt_surface = surface(&kernel, &unopt);
     let opt_surface = surface(&kernel, &opt);
     assert_eq!(opt_surface.rsb_hijackable_rets, 0);
@@ -163,14 +163,13 @@ fn optimization_does_not_weaken_protection() {
 #[test]
 fn boot_returns_are_exempt_not_forgotten() {
     let (kernel, profile) = lab();
-    let image = build_image(
-        &kernel.module,
+    let image = build(
+        &kernel,
         &profile,
-        &PibeConfig::lto_with(DefenseSet::RETPOLINES),
+        PibeConfig::lto_with(DefenseSet::RETPOLINES),
     );
     assert!(image.audit.boot_returns >= 4);
-    let total_rets = image.audit.protected_returns
-        + image.audit.vulnerable_returns
-        + image.audit.boot_returns;
+    let total_rets =
+        image.audit.protected_returns + image.audit.vulnerable_returns + image.audit.boot_returns;
     assert_eq!(total_rets, image.module.census().returns);
 }

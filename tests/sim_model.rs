@@ -47,7 +47,10 @@ fn fence_ops_cost_more_than_alu() {
         sim.call_entry(f).unwrap();
         sim.call_entry(f).unwrap()
     };
-    assert!(run(fenced) > run(plain) + 5, "lfence serialises the pipeline");
+    assert!(
+        run(fenced) > run(plain) + 5,
+        "lfence serialises the pipeline"
+    );
 }
 
 #[test]
@@ -106,7 +109,10 @@ fn jump_table_switch_is_cheaper_warm_than_long_compare_chain() {
         }
         sim.call_entry(f).unwrap()
     };
-    assert!(run(true) < run(false), "warm jump table beats compare chain");
+    assert!(
+        run(true) < run(false),
+        "warm jump table beats compare chain"
+    );
 }
 
 #[test]

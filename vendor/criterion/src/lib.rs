@@ -1,0 +1,225 @@
+//! Offline `criterion` shim: a minimal wall-clock benchmark harness with
+//! the criterion 0.5 API surface this workspace uses. Reports mean time per
+//! iteration to stdout; no statistical analysis, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// iteration regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` with a [`Bencher`] and prints the mean per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it are printed as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Criterion calls this after all groups; the shim has no finalization.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        sample_size,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{id:<40} (no iterations)");
+    } else {
+        let mean = b.total / b.iters as u32;
+        println!(
+            "{id:<40} {:>12}/iter ({} iters)",
+            fmt_duration(mean),
+            b.iters
+        );
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            self.total += start.elapsed();
+            self.iters += 1;
+            drop(std_black_box(out));
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.total += start.elapsed();
+            self.iters += 1;
+            drop(std_black_box(out));
+        }
+    }
+}
+
+/// Declares a group of benchmark functions plus its `Criterion` config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- <filter>` passes arguments the shim ignores.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u32;
+        c.bench_function("counting", |b| b.iter(|| count += 1));
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).bench_function("x", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline `crossbeam` shim: the `thread::scope` API this workspace uses,
+//! implemented over `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Behavioral difference from real crossbeam: a panicking child thread
+//! propagates its panic out of `scope` directly instead of surfacing as
+//! `Err` in the returned `Result` — callers here only `.expect()` the
+//! result, so the observable effect (test/process aborts with the panic)
+//! is the same.
+
+pub mod thread {
+    /// A scope in which child threads borrowing the environment can be
+    /// spawned. Mirrors `crossbeam::thread::Scope`: spawn closures receive
+    /// the scope back as their argument so they can spawn nested work.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped child thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller's
+    /// stack. All children are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut slots = vec![0u64; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,415 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` shim. No `syn`/`quote`: the item is parsed directly
+//! from the `proc_macro::TokenStream` and the impl is emitted as source
+//! text. Supported shapes — everything this workspace derives on:
+//!
+//! * named-field structs            → JSON object
+//! * newtype structs (1 field)      → transparent (the inner value)
+//! * tuple structs (n > 1 fields)   → JSON array
+//! * unit structs                   → `null`
+//! * enums (externally tagged): unit variants → string, payload variants
+//!   → `{"Variant": payload}` with the same struct rules per variant
+//!
+//! Generic parameters and `where` clauses are rejected with a compile
+//! error; nothing in the workspace needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skips any number of `#[...]` outer attributes (doc comments included).
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => panic!("serde_derive shim: malformed attribute"),
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skips tokens until a top-level `,` (consumed) or the end, tracking
+    /// `<`/`>` nesting so commas inside generic arguments don't split the
+    /// field. Parenthesized/bracketed groups are atomic tokens already.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i64 = 0;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected ':' after field {name}, got {other:?}"),
+        }
+        c.skip_until_comma();
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    let mut n = 0;
+    while !c.at_end() {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        c.skip_until_comma();
+        n += 1;
+    }
+    n
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (type {name})");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct(name, fields)
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+            };
+            let mut vc = Cursor::new(body);
+            let mut variants = Vec::new();
+            while !vc.at_end() {
+                vc.skip_attrs();
+                if vc.at_end() {
+                    break;
+                }
+                let vname = vc.expect_ident();
+                let fields = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream()));
+                        vc.pos += 1;
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                        vc.pos += 1;
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an optional `= discriminant` and the trailing comma.
+                vc.skip_until_comma();
+                variants.push((vname, fields));
+            }
+            Item::Enum(name, variants)
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+/// `to_value` expression for a set of fields, given an accessor prefix:
+/// `&self.` for structs, bare bindings for enum match arms.
+fn ser_named(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(""))
+}
+
+fn de_named(ty_path: &str, fields: &[String], ctx: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__field(__obj, \"{f}\", \"{ctx}\")?,"))
+        .collect();
+    format!("{ty_path} {{ {} }}", inits.join(""))
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct(name, Fields::Unit) => format!(
+            "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }} }}"
+        ),
+        Item::Struct(name, Fields::Named(fields)) => {
+            let body = ser_named(fields, |f| format!("&self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+        }
+        Item::Struct(name, Fields::Tuple(1)) => format!(
+            "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }} }}"
+        ),
+        Item::Struct(name, Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Array(::std::vec![{}]) }} }}",
+                elems.join("")
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__a0) => ::serde::__tagged(\"{v}\", ::serde::Serialize::to_value(__a0)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__a{i}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::__tagged(\"{v}\", ::serde::Value::Array(::std::vec![{}])),",
+                            binds.join(","),
+                            elems.join("")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(",");
+                        let body = ser_named(fs, |f| f.to_string());
+                        format!("{name}::{v}{{{binds}}} => ::serde::__tagged(\"{v}\", {body}),")
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }} }}",
+                arms.join("")
+            )
+        }
+    }
+}
+
+fn de_tuple(ty_path: &str, n: usize, src: &str, ctx: &str) -> String {
+    // `src` is an expression of type &Value expected to be an Array of n.
+    let elems: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?,"))
+        .collect();
+    format!(
+        "match {src} {{ ::serde::Value::Array(__arr) if __arr.len() == {n} => \
+             ::std::result::Result::Ok({ty_path}({})), \
+         _ => ::std::result::Result::Err(::serde::DeError::expected(\"array of {n}\", \"{ctx}\")) }}?",
+        elems.join("")
+    )
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    let header = |name: &str, body: &str| {
+        format!(
+            "impl ::serde::Deserialize for {name} {{ \
+               fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+             }}"
+        )
+    };
+    match item {
+        Item::Struct(name, Fields::Unit) => header(
+            name,
+            &format!("let _ = v; ::std::result::Result::Ok({name})"),
+        ),
+        Item::Struct(name, Fields::Named(fields)) => {
+            let init = de_named(name, fields, name);
+            header(
+                name,
+                &format!(
+                    "let __obj = match v {{ ::serde::Value::Object(m) => m, \
+                       _ => return ::std::result::Result::Err(::serde::DeError::expected(\"object\", \"{name}\")) }}; \
+                     ::std::result::Result::Ok({init})"
+                ),
+            )
+        }
+        Item::Struct(name, Fields::Tuple(1)) => header(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::Struct(name, Fields::Tuple(n)) => {
+            let body = format!(
+                "::std::result::Result::Ok({})",
+                de_tuple(name, *n, "v", name)
+            );
+            header(name, &body)
+        }
+        Item::Enum(name, variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| {
+                    let ctx = format!("{name}::{v}");
+                    let build = match fields {
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__payload)?))"
+                        ),
+                        Fields::Tuple(n) => format!(
+                            "::std::result::Result::Ok({})",
+                            de_tuple(&format!("{name}::{v}"), *n, "__payload", &ctx)
+                        ),
+                        Fields::Named(fs) => {
+                            let init = de_named(&format!("{name}::{v}"), fs, &ctx);
+                            format!(
+                                "match __payload {{ ::serde::Value::Object(__obj) => \
+                                     ::std::result::Result::Ok({init}), \
+                                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"object\", \"{ctx}\")) }}"
+                            )
+                        }
+                        Fields::Unit => unreachable!(),
+                    };
+                    format!("\"{v}\" => {{ {build} }},")
+                })
+                .collect();
+            let body = format!(
+                "match v {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {} _ => ::std::result::Result::Err(::serde::DeError::expected(\"known unit variant\", \"{name}\")) }}, \
+                   ::serde::Value::Object(__m) if __m.len() == 1 => {{ \
+                     let (__tag, __payload) = &__m[0]; \
+                     match __tag.as_str() {{ \
+                       {} _ => ::std::result::Result::Err(::serde::DeError::expected(\"known variant tag\", \"{name}\")) }} }}, \
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object\", \"{name}\")) }}",
+                unit_arms.join(""),
+                tagged_arms.join("")
+            );
+            header(name, &body)
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl parses")
+}

@@ -24,19 +24,20 @@ fn main() {
         },
         16,
         2,
-    );
+    )
+    .expect("bench lab builds");
     println!("\n{}", experiments::table2(&lab));
     println!("\n{}", experiments::table3(&lab));
     println!("\n{}", experiments::table4(&lab));
     println!("\n{}", experiments::table5(&lab));
     println!("\n{}", experiments::table6(&lab));
-    println!("\n{}", experiments::table7(&lab, 24));
+    println!("\n{}", experiments::table7(&lab, 24).expect("table7 runs"));
     println!("\n{}", experiments::table8(&lab));
     println!("\n{}", experiments::table9(&lab));
     println!("\n{}", experiments::table10(&lab));
     println!("\n{}", experiments::table11(&lab));
     println!("\n{}", experiments::table12(&lab));
-    let (robust, _) = experiments::robustness(&lab, 24);
+    let (robust, _) = experiments::robustness(&lab, 24).expect("robustness runs");
     println!("\n{robust}");
     println!("\n# regenerated all tables in {:.1?}", t0.elapsed());
 }

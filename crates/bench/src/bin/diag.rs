@@ -12,7 +12,8 @@ fn main() {
         },
         16,
         2,
-    );
+    )
+    .expect("diag lab builds");
     let image = lab.image(&PibeConfig::pibe_baseline());
     for sc in [Syscall::Read, Syscall::Open, Syscall::Null] {
         let b = Benchmark {

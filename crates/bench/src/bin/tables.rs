@@ -19,9 +19,18 @@
 //! wall-clock each pipeline stage cost and how many rebuilds the farm's
 //! cache absorbed.
 
-use pibe::experiments::{self, Lab};
+use pibe::experiments::{self, ExperimentError, Lab};
 use pibe_kernel::KernelSpec;
 use std::time::Instant;
+
+/// Unwraps an experiment result, exiting with the typed error (which names
+/// the failing workload, benchmark, or build) instead of a panic trace.
+fn or_die<T>(result: Result<T, ExperimentError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
 
 struct Args {
     scale: f64,
@@ -140,7 +149,7 @@ fn main() {
         scale: args.scale,
         ..KernelSpec::paper()
     };
-    let lab = Lab::new(spec, args.iters, args.rounds);
+    let lab = or_die(Lab::new(spec, args.iters, args.rounds));
     let census = lab.kernel.module.census();
     eprintln!(
         "[lab ready in {:.1?}: {} functions, {} icall sites, {} return sites, \
@@ -182,14 +191,14 @@ fn main() {
     }
     if wanted("7") {
         let t0 = Instant::now();
-        let t = experiments::table7(&lab, args.requests);
+        let t = or_die(experiments::table7(&lab, args.requests));
         println!("\n{t}");
         produced.push(t);
         eprintln!("[table 7 in {:.1?}]", t0.elapsed());
     }
     if wanted("convergence") {
         let t0 = Instant::now();
-        let (table, _) = experiments::profiling_convergence(&lab);
+        let (table, _) = or_die(experiments::profiling_convergence(&lab));
         println!("\n{table}");
         produced.push(table);
         eprintln!("[convergence in {:.1?}]", t0.elapsed());
@@ -217,7 +226,7 @@ fn main() {
     }
     if wanted("breakdown") {
         let t0 = Instant::now();
-        let (table, _) = experiments::cycle_breakdown(&lab);
+        let (table, _) = or_die(experiments::cycle_breakdown(&lab));
         println!("\n{table}");
         produced.push(table);
         eprintln!("[breakdown in {:.1?}]", t0.elapsed());
@@ -231,7 +240,7 @@ fn main() {
     }
     if wanted("robustness") {
         let t0 = Instant::now();
-        let (table, _) = experiments::robustness(&lab, args.requests);
+        let (table, _) = or_die(experiments::robustness(&lab, args.requests));
         println!("\n{table}");
         produced.push(table);
         eprintln!("[robustness in {:.1?}]", t0.elapsed());
@@ -263,10 +272,15 @@ fn build_report(lab: &Lab) -> pibe::report::Table {
         "distinct configurations".into(),
         stats.cached.to_string(),
     ]);
+    t.row(vec!["failed builds".into(), stats.failed.to_string()]);
     for (stage, ns) in metrics.stages() {
         t.row(vec![format!("stage {stage} (ms)"), ms(ns)]);
     }
     t.row(vec!["total build time (ms)".into(), ms(metrics.total_ns)]);
+    t.row(vec![
+        "stage rollbacks".into(),
+        metrics.rollbacks.to_string(),
+    ]);
     t
 }
 

@@ -18,11 +18,17 @@ use pibe_kernel::KernelSpec;
 
 /// Builds the lab the Criterion benches share: a mid-size kernel, enough
 /// iterations for stable shapes, profile aggregated over 3 rounds.
+///
+/// # Panics
+/// Panics with the failing workload and seed if the profiling run fails.
 pub fn bench_lab() -> Lab {
-    Lab::new(KernelSpec::bench(), 24, 3)
+    Lab::new(KernelSpec::bench(), 24, 3).unwrap_or_else(|e| panic!("bench lab failed: {e}"))
 }
 
 /// Builds a small lab for smoke-testing the harnesses quickly.
+///
+/// # Panics
+/// Panics with the failing workload and seed if the profiling run fails.
 pub fn quick_lab() -> Lab {
-    Lab::new(KernelSpec::test(), 8, 2)
+    Lab::new(KernelSpec::test(), 8, 2).unwrap_or_else(|e| panic!("quick lab failed: {e}"))
 }

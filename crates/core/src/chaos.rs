@@ -1,0 +1,232 @@
+//! Deterministic module fault injection (the `pibe-chaos` harness, module
+//! side — the profile side lives in [`pibe_profile::chaos`]).
+//!
+//! Two uses:
+//!
+//! * corrupting a *base* module before it enters the pipeline, to check
+//!   that input verification rejects it with a typed error instead of a
+//!   panic five stages later;
+//! * sabotaging the module *between* stages via
+//!   [`ProfiledImageBuilder::inject_fault`](crate::ProfiledImageBuilder::inject_fault),
+//!   which simulates a buggy pass and exercises the transactional
+//!   snapshot/verify/rollback machinery.
+//!
+//! Every corruption is a pure function of `(module, seed)`, so chaos runs
+//! are exactly reproducible.
+
+use pibe_ir::{BlockId, FuncId, Inst, Module, Terminator};
+use pibe_profile::ChaosRng;
+use std::fmt;
+
+/// One kind of structural module corruption, each tripping a distinct
+/// [`VerifyError`](pibe_ir::VerifyError).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModuleCorruption {
+    /// Retarget one direct call at a function outside the module
+    /// (`VerifyError::DanglingCallee`).
+    DanglingCallee,
+    /// Point one block terminator at a block outside its function
+    /// (`VerifyError::DanglingBlock`).
+    DanglingBlock,
+    /// Desynchronise one switch's weights from its cases
+    /// (`VerifyError::MalformedSwitch`).
+    MalformedSwitch,
+    /// Replace one function's returns with self-loops
+    /// (`VerifyError::NoReturnPath`).
+    NoReturnPath,
+}
+
+impl ModuleCorruption {
+    /// Every corruption kind, in a fixed order.
+    pub const ALL: [ModuleCorruption; 4] = [
+        ModuleCorruption::DanglingCallee,
+        ModuleCorruption::DanglingBlock,
+        ModuleCorruption::MalformedSwitch,
+        ModuleCorruption::NoReturnPath,
+    ];
+
+    /// Picks a corruption kind deterministically from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        Self::ALL[(ChaosRng::new(seed).next_u64() % Self::ALL.len() as u64) as usize]
+    }
+
+    /// Applies this corruption to `module`, deterministically from `seed`.
+    /// Returns `false` (module unchanged) when the module has no
+    /// instruction of the required shape (e.g. no switch to malform).
+    pub fn apply(self, module: &mut Module, seed: u64) -> bool {
+        let mut rng = ChaosRng::new(seed ^ 0x0DDC_0FFE_E0DD);
+        match self {
+            ModuleCorruption::DanglingCallee => {
+                let mut sites: Vec<(FuncId, usize, usize)> = Vec::new();
+                for f in module.functions() {
+                    for (b, block) in f.blocks().iter().enumerate() {
+                        for (i, inst) in block.insts.iter().enumerate() {
+                            if matches!(inst, Inst::Call { .. }) {
+                                sites.push((f.id(), b, i));
+                            }
+                        }
+                    }
+                }
+                let Some(&(func, b, i)) = pick(&sites, &mut rng) else {
+                    return false;
+                };
+                let ghost = FuncId::from_raw(module.len() as u32 + 1 + rng.below(1 << 10) as u32);
+                let inst = &mut module.function_mut(func).blocks_mut()[b].insts[i];
+                if let Inst::Call { callee, .. } = inst {
+                    *callee = ghost;
+                }
+                true
+            }
+            ModuleCorruption::DanglingBlock => {
+                let mut blocks: Vec<(FuncId, usize)> = Vec::new();
+                for f in module.functions() {
+                    for b in 0..f.blocks().len() {
+                        blocks.push((f.id(), b));
+                    }
+                }
+                let Some(&(func, b)) = pick(&blocks, &mut rng) else {
+                    return false;
+                };
+                let nblocks = module.function(func).blocks().len() as u32;
+                let ghost = BlockId::from_raw(nblocks + 1 + rng.below(1 << 8) as u32);
+                module.function_mut(func).blocks_mut()[b].term = Terminator::Jump { target: ghost };
+                true
+            }
+            ModuleCorruption::MalformedSwitch => {
+                let mut switches: Vec<(FuncId, usize)> = Vec::new();
+                for f in module.functions() {
+                    for (b, block) in f.blocks().iter().enumerate() {
+                        if let Terminator::Switch { weights, .. } = &block.term {
+                            if !weights.is_empty() {
+                                switches.push((f.id(), b));
+                            }
+                        }
+                    }
+                }
+                let Some(&(func, b)) = pick(&switches, &mut rng) else {
+                    return false;
+                };
+                if let Terminator::Switch { weights, .. } =
+                    &mut module.function_mut(func).blocks_mut()[b].term
+                {
+                    weights.pop();
+                }
+                true
+            }
+            ModuleCorruption::NoReturnPath => {
+                let funcs: Vec<FuncId> = module.func_ids().collect();
+                let Some(&func) = pick(&funcs, &mut rng) else {
+                    return false;
+                };
+                let mut changed = false;
+                for (b, block) in module
+                    .function_mut(func)
+                    .blocks_mut()
+                    .iter_mut()
+                    .enumerate()
+                {
+                    if matches!(block.term, Terminator::Return) {
+                        block.term = Terminator::Jump {
+                            target: BlockId::from_raw(b as u32),
+                        };
+                        changed = true;
+                    }
+                }
+                changed
+            }
+        }
+    }
+}
+
+impl fmt::Display for ModuleCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ModuleCorruption::DanglingCallee => "dangling-callee",
+            ModuleCorruption::DanglingBlock => "dangling-block",
+            ModuleCorruption::MalformedSwitch => "malformed-switch",
+            ModuleCorruption::NoReturnPath => "no-return-path",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Deterministic element pick.
+fn pick<'a, T>(items: &'a [T], rng: &mut ChaosRng) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.below(items.len() as u64) as usize])
+    }
+}
+
+/// Corrupts a copy of `module` with the corruption kind derived from
+/// `seed`. Returns the corrupted copy, the kind, and whether the corruption
+/// actually landed.
+pub fn corrupt_module(module: &Module, seed: u64) -> (Module, ModuleCorruption, bool) {
+    let kind = ModuleCorruption::from_seed(seed);
+    let mut m = module.clone();
+    let landed = kind.apply(&mut m, seed);
+    (m, kind, landed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_ir::{Cond, FunctionBuilder, OpKind};
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("leaf", 0);
+        b.op(OpKind::Alu);
+        b.ret();
+        let leaf = m.add_function(b.build());
+        let s = m.fresh_site();
+        let mut b = FunctionBuilder::new("root", 0);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.call(s, leaf, 0);
+        b.branch(Cond::Random { ptaken_milli: 500 }, t, e);
+        b.switch_to(t);
+        b.ret();
+        b.switch_to(e);
+        b.ret();
+        m.add_function(b.build());
+        m
+    }
+
+    #[test]
+    fn landed_corruptions_fail_verification() {
+        let base = sample_module();
+        base.verify().expect("sample module is valid");
+        let mut landed = 0;
+        for seed in 0..100 {
+            let (corrupt, kind, hit) = corrupt_module(&base, seed);
+            if !hit {
+                // MalformedSwitch cannot land (no switch in the sample).
+                assert_eq!(kind, ModuleCorruption::MalformedSwitch);
+                continue;
+            }
+            landed += 1;
+            assert!(
+                corrupt.verify().is_err(),
+                "seed {seed} ({kind}) corrupted the module but it still verifies"
+            );
+        }
+        assert!(landed > 50, "most corruptions must land: {landed}/100");
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let base = sample_module();
+        for seed in 0..20 {
+            let (a, ka, _) = corrupt_module(&base, seed);
+            let (b, kb, _) = corrupt_module(&base, seed);
+            assert_eq!(ka, kb);
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "seed {seed} must corrupt identically"
+            );
+        }
+    }
+}

@@ -5,8 +5,51 @@ use pibe_passes::{IcpConfig, InlinerConfig};
 use pibe_profile::Budget;
 use serde::{Deserialize, Serialize};
 
+/// How the pipeline treats profile/module inconsistencies (dangling site or
+/// function ids, truncated value profiles, saturated counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValidationPolicy {
+    /// Refuse to build: the first detected
+    /// [`ProfileIssue`](pibe_profile::ProfileIssue) becomes a typed
+    /// [`PipelineError::ProfileInvalid`](crate::PipelineError::ProfileInvalid)
+    /// naming the faulty entity.
+    Strict,
+    /// Repair the profile (drop/clamp offending entries) and build with the
+    /// repaired copy; the [`ProfileRepair`](pibe_profile::ProfileRepair)
+    /// report is attached to the resulting [`Image`](crate::Image). The
+    /// default: a stale profile degrades optimization quality, never the
+    /// build.
+    #[default]
+    Repair,
+    /// Skip validation *and* the transactional per-stage verification: the
+    /// legacy fast path with a single end-of-pipeline verify. A corrupt
+    /// profile can panic a pass under this policy — the
+    /// [`ImageFarm`](crate::ImageFarm) contains such panics as
+    /// [`PipelineError::StagePanicked`](crate::PipelineError::StagePanicked).
+    TrustProfile,
+}
+
+/// What the pipeline does when a transform stage produces a structurally
+/// invalid module (detected by the per-stage verifier; the stage is always
+/// rolled back first).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailurePolicy {
+    /// Fail the build with a typed
+    /// [`PipelineError::StageFailed`](crate::PipelineError::StageFailed).
+    /// The default: a buggy pass should be loud.
+    #[default]
+    Abort,
+    /// Record a [`StageFault`](crate::StageFault) and continue with the
+    /// remaining stages. The image degrades (fewer eliminated branches) but
+    /// every surviving indirect branch is still defended — only
+    /// *optimization* stages (icp, inline) are skippable; a hardening
+    /// failure always aborts because skipping it would weaken defenses.
+    SkipStage,
+}
+
 /// One kernel build configuration: which optimizations run (and at what
-/// budget) and which defenses harden the result.
+/// budget), which defenses harden the result, and how the build reacts to
+/// corrupt inputs and failing stages.
 ///
 /// Configurations are `Eq + Hash`: the [`ImageFarm`](crate::ImageFarm)
 /// content-keys its build cache on the full configuration, so two requests
@@ -19,6 +62,10 @@ pub struct PibeConfig {
     pub inliner: Option<InlinerConfig>,
     /// Defenses applied to the remaining branches.
     pub defenses: DefenseSet,
+    /// How profile/module inconsistencies are handled.
+    pub validation: ValidationPolicy,
+    /// How a failing transform stage is handled.
+    pub failure: FailurePolicy,
 }
 
 impl PibeConfig {
@@ -29,6 +76,8 @@ impl PibeConfig {
             icp: None,
             inliner: None,
             defenses: DefenseSet::NONE,
+            validation: ValidationPolicy::default(),
+            failure: FailurePolicy::default(),
         }
     }
 
@@ -51,6 +100,7 @@ impl PibeConfig {
             }),
             inliner: None,
             defenses,
+            ..Self::lto()
         }
     }
 
@@ -66,6 +116,7 @@ impl PibeConfig {
                 ..InlinerConfig::default()
             }),
             defenses,
+            ..Self::lto()
         }
     }
 
@@ -85,7 +136,21 @@ impl PibeConfig {
                 ..InlinerConfig::default()
             }),
             defenses,
+            ..Self::lto()
         }
+    }
+
+    /// Replaces the validation policy (how profile inconsistencies are
+    /// treated).
+    pub fn with_validation(mut self, validation: ValidationPolicy) -> Self {
+        self.validation = validation;
+        self
+    }
+
+    /// Replaces the failure policy (how failing stages are treated).
+    pub fn with_failure(mut self, failure: FailurePolicy) -> Self {
+        self.failure = failure;
+        self
     }
 
     /// The PIBE performance baseline of Table 2: the best optimization
@@ -134,5 +199,19 @@ mod tests {
     fn pibe_baseline_has_no_defenses() {
         assert!(PibeConfig::pibe_baseline().defenses.is_none());
         assert!(PibeConfig::pibe_baseline().optimizes());
+    }
+
+    #[test]
+    fn policies_default_to_repair_and_abort() {
+        let c = PibeConfig::lax(DefenseSet::ALL);
+        assert_eq!(c.validation, ValidationPolicy::Repair);
+        assert_eq!(c.failure, FailurePolicy::Abort);
+        let c = c
+            .with_validation(ValidationPolicy::Strict)
+            .with_failure(FailurePolicy::SkipStage);
+        assert_eq!(c.validation, ValidationPolicy::Strict);
+        assert_eq!(c.failure, FailurePolicy::SkipStage);
+        // Policies are part of the farm's cache key.
+        assert_ne!(c, PibeConfig::lax(DefenseSet::ALL));
     }
 }

@@ -8,7 +8,7 @@
 //! kernels drown in instrumentation cycles; PIBE trades a sliver of
 //! locality for their removal.
 
-use super::Lab;
+use super::{ExperimentError, Lab};
 use crate::config::PibeConfig;
 use crate::report::{pct, Table};
 use pibe_harden::DefenseSet;
@@ -43,7 +43,7 @@ impl CycleBreakdown {
     }
 }
 
-fn suite_breakdown(lab: &Lab, image: &crate::Image) -> CycleBreakdown {
+fn suite_breakdown(lab: &Lab, image: &crate::Image) -> Result<CycleBreakdown, ExperimentError> {
     let cfg = SimConfig {
         defenses: image.config.defenses,
         ..SimConfig::default()
@@ -58,18 +58,26 @@ fn suite_breakdown(lab: &Lab, image: &crate::Image) -> CycleBreakdown {
             cfg,
             lab.seed,
         )
-        .expect("breakdown benchmark runs");
+        .map_err(|source| ExperimentError::Benchmark {
+            benchmark: bench.syscall.name().to_string(),
+            seed: lab.seed,
+            source,
+        })?;
         total.cycles += stats.cycles;
         total.cycles_defense += stats.cycles_defense;
         total.cycles_prediction += stats.cycles_prediction;
         total.cycles_locality += stats.cycles_locality;
     }
-    CycleBreakdown::of(&total)
+    Ok(CycleBreakdown::of(&total))
 }
 
 /// Decomposes the LMBench cycle total of four configurations into the three
 /// cost channels plus base compute.
-pub fn cycle_breakdown(lab: &Lab) -> (Table, Vec<CycleBreakdown>) {
+///
+/// # Errors
+/// [`ExperimentError::Benchmark`] naming the benchmark and seed when a
+/// measurement fails.
+pub fn cycle_breakdown(lab: &Lab) -> Result<(Table, Vec<CycleBreakdown>), ExperimentError> {
     let configs: [(&str, PibeConfig); 4] = [
         ("LTO baseline", PibeConfig::lto()),
         ("LTO w/all-defenses", PibeConfig::lto_with(DefenseSet::ALL)),
@@ -84,7 +92,7 @@ pub fn cycle_breakdown(lab: &Lab) -> (Table, Vec<CycleBreakdown>) {
     lab.prefetch(&configs.map(|(_, c)| c));
     for (name, config) in configs {
         let image = lab.image(&config);
-        let b = suite_breakdown(lab, &image);
+        let b = suite_breakdown(lab, &image)?;
         let share = |part: u64| pct(part as f64 / b.total as f64 * 100.0);
         table.row(vec![
             name.to_string(),
@@ -95,7 +103,7 @@ pub fn cycle_breakdown(lab: &Lab) -> (Table, Vec<CycleBreakdown>) {
         ]);
         out.push(b);
     }
-    (table, out)
+    Ok((table, out))
 }
 
 #[cfg(test)]
@@ -105,7 +113,7 @@ mod tests {
     #[test]
     fn breakdown_explains_the_headline_numbers() {
         let lab = Lab::test();
-        let (_, rows) = cycle_breakdown(&lab);
+        let (_, rows) = cycle_breakdown(&lab).expect("breakdown experiment runs");
         let [lto, lto_all, pibe_base, pibe_all] = rows[..] else {
             panic!("four configurations expected");
         };

@@ -8,7 +8,7 @@
 //! rarely-taken hooks, low-weight targets — is what the extra rounds
 //! gradually pick up.
 
-use super::Lab;
+use super::{ExperimentError, Lab};
 use crate::report::{pct, Table};
 use pibe_kernel::measure::collect_profile;
 use pibe_profile::{overlap, Budget};
@@ -27,7 +27,11 @@ pub struct ConvergencePoint {
 
 /// Measures candidate overlap for 1, 2, 4, and 8 aggregated rounds against
 /// the lab's reference profile.
-pub fn profiling_convergence(lab: &Lab) -> (Table, Vec<ConvergencePoint>) {
+///
+/// # Errors
+/// [`ExperimentError::Profiling`] naming the round count and seed when one
+/// of the re-profiling runs fails.
+pub fn profiling_convergence(lab: &Lab) -> Result<(Table, Vec<ConvergencePoint>), ExperimentError> {
     let mut table = Table::new(
         "Profiling convergence: candidate overlap with the reference profile (99.9% budget)",
         &[
@@ -38,8 +42,13 @@ pub fn profiling_convergence(lab: &Lab) -> (Table, Vec<ConvergencePoint>) {
     );
     let mut out = Vec::new();
     for rounds in [1u32, 2, 4, 8] {
-        let p = collect_profile(&lab.kernel, &lab.workload, &lab.suite, rounds, lab.seed)
-            .expect("profiling run succeeds");
+        let p = collect_profile(&lab.kernel, &lab.workload, &lab.suite, rounds, lab.seed).map_err(
+            |source| ExperimentError::Profiling {
+                workload: format!("{} ({rounds} rounds)", lab.workload.name),
+                seed: lab.seed,
+                source,
+            },
+        )?;
         let ov = overlap::overlap(&lab.profile, &p, Budget::P99_9);
         let point = ConvergencePoint {
             rounds,
@@ -53,7 +62,7 @@ pub fn profiling_convergence(lab: &Lab) -> (Table, Vec<ConvergencePoint>) {
         ]);
         out.push(point);
     }
-    (table, out)
+    Ok((table, out))
 }
 
 #[cfg(test)]
@@ -63,7 +72,7 @@ mod tests {
     #[test]
     fn one_round_already_captures_most_hot_weight() {
         let lab = Lab::test();
-        let (_, points) = profiling_convergence(&lab);
+        let (_, points) = profiling_convergence(&lab).expect("convergence experiment runs");
         assert_eq!(points.len(), 4);
         // Even a single round covers the bulk of the candidate weight —
         // hot sites dominate every round.

@@ -29,14 +29,75 @@ pub use v1::{spectre_v1_fencing, V1Summary};
 use crate::config::PibeConfig;
 use crate::eval::{self, LatencyRow};
 use crate::farm::ImageFarm;
-use crate::pipeline::{BuildMetrics, Image};
+use crate::pipeline::{BuildMetrics, Image, PipelineError};
 use pibe_harden::DefenseSet;
 use pibe_kernel::measure::collect_profile;
 use pibe_kernel::workloads::{lmbench_suite, Benchmark, WorkloadSpec};
 use pibe_kernel::{Kernel, KernelSpec};
 use pibe_profile::Profile;
-use pibe_sim::SimConfig;
+use pibe_sim::{SimConfig, SimError};
+use std::fmt;
 use std::sync::Arc;
+
+/// Why an experiment could not produce its numbers. Every variant names
+/// the workload, benchmark, or build that failed (and the seed it ran
+/// under), so a failing lab points at the culprit instead of panicking
+/// deep inside a measurement loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// A profiling run failed.
+    Profiling {
+        /// The profiling workload that failed (e.g. `lmbench`, `apache`).
+        workload: String,
+        /// The simulation seed the run used.
+        seed: u64,
+        /// The underlying simulator failure.
+        source: SimError,
+    },
+    /// A benchmark measurement failed.
+    Benchmark {
+        /// The benchmark that failed (e.g. `fork+execve`, `nginx`).
+        benchmark: String,
+        /// The simulation seed the run used.
+        seed: u64,
+        /// The underlying simulator failure.
+        source: SimError,
+    },
+    /// An image build failed.
+    Build(PipelineError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Profiling {
+                workload,
+                seed,
+                source,
+            } => write!(
+                f,
+                "profiling run failed (workload {workload}, seed {seed:#x}): {source}"
+            ),
+            ExperimentError::Benchmark {
+                benchmark,
+                seed,
+                source,
+            } => write!(
+                f,
+                "benchmark failed ({benchmark}, seed {seed:#x}): {source}"
+            ),
+            ExperimentError::Build(e) => write!(f, "image build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<PipelineError> for ExperimentError {
+    fn from(e: PipelineError) -> Self {
+        ExperimentError::Build(e)
+    }
+}
 
 /// The experiment harness: one generated kernel, one profiling run, and one
 /// image farm shared across all tables.
@@ -63,13 +124,23 @@ impl Lab {
     /// Builds a lab: generates the kernel, collects the aggregated LMBench
     /// profile (`rounds` runs, 11 in the paper), and measures the LTO
     /// baseline.
-    pub fn new(spec: KernelSpec, iters: u32, rounds: u32) -> Lab {
+    ///
+    /// # Errors
+    /// [`ExperimentError::Profiling`] naming the workload and seed when the
+    /// profiling run fails.
+    pub fn new(spec: KernelSpec, iters: u32, rounds: u32) -> Result<Lab, ExperimentError> {
         let kernel = Kernel::generate(spec);
         let workload = WorkloadSpec::lmbench();
         let suite = lmbench_suite(iters);
         let seed = 0xBA5E;
-        let profile = collect_profile(&kernel, &workload, &suite, rounds, seed)
-            .expect("profiling run must succeed");
+        let profile =
+            collect_profile(&kernel, &workload, &suite, rounds, seed).map_err(|source| {
+                ExperimentError::Profiling {
+                    workload: workload.name.clone(),
+                    seed,
+                    source,
+                }
+            })?;
         let lto_latencies = eval::lmbench_latencies(
             &kernel.module,
             &kernel,
@@ -80,7 +151,7 @@ impl Lab {
         );
         let farm =
             ImageFarm::with_shared(Arc::new(kernel.module.clone()), Arc::new(profile.clone()));
-        Lab {
+        Ok(Lab {
             kernel,
             workload,
             suite,
@@ -88,12 +159,15 @@ impl Lab {
             lto_latencies,
             seed,
             farm,
-        }
+        })
     }
 
     /// A small lab for tests: tiny kernel, few iterations.
+    ///
+    /// # Panics
+    /// Panics if the profiling run fails (tests want the loud failure).
     pub fn test() -> Lab {
-        Lab::new(KernelSpec::test(), 8, 2)
+        Lab::new(KernelSpec::test(), 8, 2).expect("test lab builds")
     }
 
     /// The image for `config`, built through the lab's farm: the first
@@ -102,7 +176,7 @@ impl Lab {
     pub fn image(&self, config: &PibeConfig) -> Arc<Image> {
         self.farm
             .image(config)
-            .expect("pipeline must preserve validity")
+            .unwrap_or_else(|e| panic!("image build failed for {config:?}: {e}"))
     }
 
     /// Builds every configuration in `configs` across the farm's worker
@@ -111,7 +185,7 @@ impl Lab {
     pub fn prefetch(&self, configs: &[PibeConfig]) {
         self.farm
             .prefetch(configs)
-            .expect("pipeline must preserve validity");
+            .unwrap_or_else(|e| panic!("prefetch build failed: {e}"));
     }
 
     /// The lab's build farm (counters, thread knob, aggregate metrics).

@@ -1,7 +1,7 @@
 //! Performance tables: Table 1 (micro costs), Figure 1 (Rule 3 example),
 //! Tables 2, 3, 5, 6 (LMBench), Table 7 (macrobenchmarks).
 
-use super::{defense_sweep, Lab};
+use super::{defense_sweep, ExperimentError, Lab};
 use crate::config::PibeConfig;
 use crate::eval;
 use crate::report::{micros, pct, Table};
@@ -349,7 +349,11 @@ pub fn table6(lab: &Lab) -> Table {
 /// Table 7: macrobenchmark throughput change (vs the LTO baseline) for
 /// each defense, with and without PIBE's optimizations. The profile is the
 /// LMBench training workload, as in §8.5.
-pub fn table7(lab: &Lab, requests: u32) -> Table {
+///
+/// # Errors
+/// [`ExperimentError::Benchmark`] naming the macrobenchmark and seed when
+/// a vanilla throughput run fails.
+pub fn table7(lab: &Lab, requests: u32) -> Result<Table, ExperimentError> {
     use pibe_kernel::workloads::WorkloadSpec;
     let benches: [(MacroBench, WorkloadSpec); 3] = [
         (MacroBench::nginx(requests), WorkloadSpec::nginx()),
@@ -385,7 +389,11 @@ pub fn table7(lab: &Lab, requests: u32) -> Table {
             pibe_sim::SimConfig::default(),
             lab.seed,
         )
-        .expect("macro benchmark runs");
+        .map_err(|source| ExperimentError::Benchmark {
+            benchmark: mb.name.clone(),
+            seed: lab.seed,
+            source,
+        })?;
         for (dname, d) in defense_sweep() {
             let unopt = lab.image(&PibeConfig::lto_with(d));
             let opt = if d == DefenseSet::RETPOLINES {
@@ -418,7 +426,7 @@ pub fn table7(lab: &Lab, requests: u32) -> Table {
             ]);
         }
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //!    default-LLVM-style inliner with the *matched* profile still lands at
 //!    100.2% in the paper.
 
-use super::Lab;
+use super::{ExperimentError, Lab};
 use crate::config::PibeConfig;
 use crate::eval;
 use crate::report::{pct, Table};
@@ -43,17 +43,26 @@ pub struct RobustnessSummary {
 
 /// Runs the robustness experiment; `requests` sizes the Apache profiling
 /// workload.
-pub fn robustness(lab: &Lab, requests: u32) -> (Table, RobustnessSummary) {
+///
+/// # Errors
+/// [`ExperimentError::Profiling`] if the Apache profiling run fails;
+/// [`ExperimentError::Build`] if the Apache-trained image fails to build.
+pub fn robustness(lab: &Lab, requests: u32) -> Result<(Table, RobustnessSummary), ExperimentError> {
     // Apache profiling workload (ApacheBench in the paper).
     let apache_wl = WorkloadSpec::apache();
+    let apache_seed = lab.seed ^ 0xA9;
     let apache_profile = collect_macro_profile(
         &lab.kernel,
         &apache_wl,
         &MacroBench::apache(requests),
         2,
-        lab.seed ^ 0xA9,
+        apache_seed,
     )
-    .expect("apache profiling run succeeds");
+    .map_err(|source| ExperimentError::Profiling {
+        workload: apache_wl.name.clone(),
+        seed: apache_seed,
+        source,
+    })?;
 
     // 1. Candidate overlap at the 99% reference budget.
     let ov = overlap::overlap(&lab.profile, &apache_profile, Budget::P99);
@@ -64,8 +73,7 @@ pub fn robustness(lab: &Lab, requests: u32) -> (Table, RobustnessSummary) {
     let apache_img = crate::Image::builder(&lab.kernel.module)
         .profile(&apache_profile)
         .config(PibeConfig::lax(DefenseSet::ALL))
-        .build()
-        .expect("pipeline must preserve validity");
+        .build()?;
     let apache_rows = lab.latencies(&apache_img);
     let apache_trained_pct = lab.geomean(&apache_rows);
 
@@ -137,7 +145,7 @@ pub fn robustness(lab: &Lab, requests: u32) -> (Table, RobustnessSummary) {
         "default LLVM inliner, matched profile".into(),
         pct(summary.llvm_inliner_pct),
     ]);
-    (t, summary)
+    Ok((t, summary))
 }
 
 #[cfg(test)]
@@ -147,7 +155,7 @@ mod tests {
     #[test]
     fn robustness_ordering_matches_the_paper() {
         let lab = Lab::test();
-        let (_, s) = robustness(&lab, 20);
+        let (_, s) = robustness(&lab, 20).expect("robustness experiment runs");
         assert!(
             s.matched_pct <= s.apache_trained_pct,
             "matched profile wins ({} vs {})",

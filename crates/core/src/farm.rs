@@ -35,6 +35,10 @@ pub struct FarmStats {
     pub hits: u64,
     /// Distinct configurations currently cached.
     pub cached: usize,
+    /// Cached configurations whose build failed (including contained
+    /// panics). Failures are cached like successes, so this also counts
+    /// the rebuilds the farm refused to retry.
+    pub failed: usize,
 }
 
 /// A build farm over one immutable profiled module.
@@ -121,15 +125,34 @@ impl ImageFarm {
     /// request counter. `OnceLock::get_or_init` guarantees the pipeline
     /// runs exactly once per distinct configuration even under concurrent
     /// callers (losers of the race block, then share the winner's image).
+    ///
+    /// The build runs under `catch_unwind`: a pass that panics (possible
+    /// under [`ValidationPolicy::TrustProfile`](crate::ValidationPolicy)
+    /// with a corrupt profile) is contained in this slot as
+    /// [`PipelineError::StagePanicked`] instead of tearing down the worker
+    /// pool, so one poisoned configuration cannot take a whole batch of
+    /// experiments with it.
     fn fetch(&self, config: &PibeConfig) -> Result<Arc<Image>, PipelineError> {
         let slot = self.slot(config);
         slot.get_or_init(|| {
             self.builds.fetch_add(1, Ordering::Relaxed);
-            Image::builder(&self.base)
-                .profile(&self.profile)
-                .config(*config)
-                .build()
-                .map(Arc::new)
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Image::builder(&self.base)
+                    .profile(&self.profile)
+                    .config(*config)
+                    .build()
+                    .map(Arc::new)
+            }))
+            .unwrap_or_else(|payload| {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(PipelineError::StagePanicked { message })
+            })
         })
         .clone()
     }
@@ -202,11 +225,17 @@ impl ImageFarm {
     pub fn stats(&self) -> FarmStats {
         let requests = self.requests.load(Ordering::Relaxed);
         let builds = self.builds.load(Ordering::Relaxed);
+        let cache = self.cache.lock();
+        let failed = cache
+            .values()
+            .filter(|slot| matches!(slot.get(), Some(Err(_))))
+            .count();
         FarmStats {
             requests,
             builds,
             hits: requests.saturating_sub(builds),
-            cached: self.cache.lock().len(),
+            cached: cache.len(),
+            failed,
         }
     }
 
@@ -281,5 +310,58 @@ mod tests {
         let agg = farm.aggregate_metrics();
         assert!(agg.total_ns > 0);
         assert!(agg.clone_ns > 0);
+        assert_eq!(farm.stats().failed, 0);
+    }
+
+    /// A farm whose profile has a dangling value-profile target planted as
+    /// the hottest promotion candidate — the input that panics the inliner
+    /// when validation is off.
+    fn poisoned_farm() -> ImageFarm {
+        use pibe_profile::{corrupt_profile, ProfileChaos};
+        let k = Kernel::generate(KernelSpec::test());
+        let p = collect_profile(&k, &WorkloadSpec::lmbench(), &lmbench_suite(4), 1, 7)
+            .expect("profiling run succeeds");
+        let bad = (0..200)
+            .find_map(|seed| {
+                let (bad, kind, landed) = corrupt_profile(&p, &k.module, seed);
+                (landed && kind == ProfileChaos::DanglingTarget).then_some(bad)
+            })
+            .expect("some seed plants a dangling target");
+        ImageFarm::new(k.module, bad)
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_cached() {
+        use crate::ValidationPolicy;
+        let farm = poisoned_farm().with_threads(2);
+        let poisoned =
+            PibeConfig::lax(DefenseSet::ALL).with_validation(ValidationPolicy::TrustProfile);
+        let healthy = [
+            PibeConfig::lto(),
+            PibeConfig::lto_with(DefenseSet::ALL),
+            PibeConfig::lax(DefenseSet::ALL), // Repair fixes the profile
+        ];
+        let mut batch = healthy.to_vec();
+        batch.insert(1, poisoned);
+
+        // The batch reports the poisoned build's contained panic...
+        let err = farm.images(&batch).expect_err("poisoned config must fail");
+        assert!(
+            matches!(err, PipelineError::StagePanicked { .. }),
+            "wanted StagePanicked, got {err}"
+        );
+        // ...but every other configuration was still built and is served
+        // from cache afterwards.
+        let builds_after_batch = farm.stats().builds;
+        for cfg in &healthy {
+            farm.image(cfg).expect("healthy config built");
+        }
+        assert_eq!(farm.stats().builds, builds_after_batch, "all cache hits");
+
+        // The failure itself is cached (no retry) and counted.
+        let again = farm.image(&poisoned).expect_err("failure is cached");
+        assert_eq!(again, err);
+        assert_eq!(farm.stats().builds, builds_after_batch);
+        assert_eq!(farm.stats().failed, 1);
     }
 }

@@ -27,10 +27,17 @@
 //! * [`experiments`] regenerates every table and figure in the paper's
 //!   evaluation section (run the `tables` binary from `pibe-bench`);
 //! * [`report`] renders the results as aligned text tables.
+//!
+//! The pipeline is fault tolerant: profiles are validated/repaired against
+//! the module per [`ValidationPolicy`], each transform stage runs
+//! transactionally (snapshot → run → verify → roll back on failure) per
+//! [`FailurePolicy`], and the [`chaos`] module injects deterministic module
+//! corruption to test exactly that machinery.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 mod config;
 pub mod eval;
 pub mod experiments;
@@ -38,8 +45,10 @@ mod farm;
 mod pipeline;
 pub mod report;
 
-pub use config::PibeConfig;
+pub use chaos::{corrupt_module, ModuleCorruption};
+pub use config::{FailurePolicy, PibeConfig, ValidationPolicy};
 pub use farm::{FarmStats, ImageFarm};
 pub use pipeline::{
-    build_image, BuildMetrics, Image, ImageBuilder, ImageSize, PipelineError, ProfiledImageBuilder,
+    build_image, BuildMetrics, FaultLog, Image, ImageBuilder, ImageSize, PipelineError,
+    ProfiledImageBuilder, Stage, StageFault,
 };

@@ -9,14 +9,25 @@
 //!     .build()?;
 //! ```
 //!
+//! The pipeline is *fault tolerant*: the profile is validated (and, under
+//! [`ValidationPolicy::Repair`], repaired) against the module before any
+//! pass consumes it, and each transform stage runs transactionally — the
+//! module is snapshotted before the stage, verified after it, and rolled
+//! back to the snapshot if the stage produced structurally invalid IR. What
+//! happens next is the [`FailurePolicy`]'s call: abort with a typed
+//! [`PipelineError::StageFailed`], or record a [`StageFault`] and continue
+//! with the remaining stages. A hardening failure always aborts — skipping
+//! the defense stage would silently weaken the image.
+//!
 //! [`build_image`] remains as a thin forwarding wrapper for callers that
 //! want the original panicking signature.
 
-use crate::config::PibeConfig;
+use crate::chaos::ModuleCorruption;
+use crate::config::{FailurePolicy, PibeConfig, ValidationPolicy};
 use pibe_harden::{audit, costs, HardenReport, SecurityAudit};
 use pibe_ir::{Module, VerifyError};
 use pibe_passes::{promote_indirect_calls, run_inliner, IcpStats, InlinerStats, SiteWeights};
-use pibe_profile::Profile;
+use pibe_profile::{Profile, ProfileIssue, ProfileRepair};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
@@ -41,6 +52,12 @@ pub struct Image {
     pub size: ImageSize,
     /// Wall-clock cost of each pipeline stage for this build.
     pub metrics: BuildMetrics,
+    /// What profile repair did, when [`ValidationPolicy::Repair`] had to
+    /// fix the input profile (`None` when the profile was already clean).
+    pub repair: Option<ProfileRepair>,
+    /// Stage faults survived during this build (empty unless a stage was
+    /// rolled back and skipped under [`FailurePolicy::SkipStage`]).
+    pub faults: FaultLog,
 }
 
 impl Image {
@@ -71,6 +88,82 @@ impl ImageSize {
     }
 }
 
+/// A transform stage of the pipeline, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Indirect call promotion.
+    Icp,
+    /// The security inliner.
+    Inline,
+    /// The defense transforms.
+    Harden,
+}
+
+impl Stage {
+    /// The stage's label as used in reports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Icp => "icp",
+            Stage::Inline => "inline",
+            Stage::Harden => "harden",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One survived stage failure: the stage produced structurally invalid IR,
+/// was rolled back, and the build continued without it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageFault {
+    /// The stage that failed.
+    pub stage: Stage,
+    /// The verifier error its output exhibited.
+    pub error: VerifyError,
+}
+
+impl fmt::Display for StageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rolled back: {}", self.stage, self.error)
+    }
+}
+
+/// The stage faults survived during one build, in pipeline order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    faults: Vec<StageFault>,
+}
+
+impl FaultLog {
+    /// No faults recorded.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of faults recorded.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The recorded faults, in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = &StageFault> {
+        self.faults.iter()
+    }
+
+    /// Whether `stage` was rolled back during this build.
+    pub fn contains(&self, stage: Stage) -> bool {
+        self.faults.iter().any(|f| f.stage == stage)
+    }
+
+    fn push(&mut self, stage: Stage, error: VerifyError) {
+        self.faults.push(StageFault { stage, error });
+    }
+}
+
 /// Wall-clock nanoseconds spent in each pipeline stage of one build.
 ///
 /// Timings are measurement artifacts, not build outputs: two builds of the
@@ -79,6 +172,8 @@ impl ImageSize {
 /// every image it built.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct BuildMetrics {
+    /// Profile validation/repair against the base module.
+    pub validate_ns: u64,
     /// Cloning the base module.
     pub clone_ns: u64,
     /// Indirect call promotion (zero when the config disables ICP).
@@ -91,16 +186,21 @@ pub struct BuildMetrics {
     pub audit_ns: u64,
     /// Size accounting.
     pub size_ns: u64,
-    /// Post-pipeline structural verification.
+    /// Structural verification (input, per-stage, and final).
     pub verify_ns: u64,
     /// End-to-end build time (at least the sum of the stages).
     pub total_ns: u64,
+    /// Stages rolled back after failing post-stage verification (not a
+    /// timing; aggregated like one by the farm report).
+    pub rollbacks: u64,
 }
 
 impl BuildMetrics {
-    /// Stage labels and durations in pipeline order (excludes the total).
-    pub fn stages(&self) -> [(&'static str, u64); 7] {
+    /// Stage labels and durations in pipeline order (excludes the total
+    /// and the rollback counter).
+    pub fn stages(&self) -> [(&'static str, u64); 8] {
         [
+            ("validate", self.validate_ns),
             ("clone", self.clone_ns),
             ("icp", self.icp_ns),
             ("inline", self.inline_ns),
@@ -113,6 +213,7 @@ impl BuildMetrics {
 
     /// Accumulates another build's timings into this aggregate.
     pub fn accumulate(&mut self, other: &BuildMetrics) {
+        self.validate_ns += other.validate_ns;
         self.clone_ns += other.clone_ns;
         self.icp_ns += other.icp_ns;
         self.inline_ns += other.inline_ns;
@@ -121,17 +222,37 @@ impl BuildMetrics {
         self.size_ns += other.size_ns;
         self.verify_ns += other.verify_ns;
         self.total_ns += other.total_ns;
+        self.rollbacks += other.rollbacks;
     }
 }
 
 /// Why the pipeline refused to produce an image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineError {
-    /// The transformed module failed structural verification — a pass
-    /// violated an IR invariant. Unlike the original `debug_assert!`, this
-    /// check runs in release builds too: a silently malformed image would
-    /// invalidate every downstream measurement.
+    /// The input (or final) module failed structural verification. Unlike
+    /// the original `debug_assert!`, this check runs in release builds too:
+    /// a silently malformed image would invalidate every downstream
+    /// measurement.
     InvalidModule(VerifyError),
+    /// The profile failed validation against the module under
+    /// [`ValidationPolicy::Strict`]; the issue names the faulty entity.
+    ProfileInvalid(ProfileIssue),
+    /// A transform stage produced an invalid module and the
+    /// [`FailurePolicy`] (or the stage being `harden`, which never skips)
+    /// demanded an abort. The stage was rolled back before returning.
+    StageFailed {
+        /// The stage whose output failed verification.
+        stage: Stage,
+        /// The verifier error its output exhibited.
+        error: VerifyError,
+    },
+    /// The build panicked inside a farm worker thread; the panic was
+    /// contained and converted into this error (the message is the panic
+    /// payload, when it was a string).
+    StagePanicked {
+        /// The panic payload, or a placeholder for non-string payloads.
+        message: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -139,6 +260,18 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::InvalidModule(e) => {
                 write!(f, "pipeline produced an invalid module: {e}")
+            }
+            PipelineError::ProfileInvalid(issue) => {
+                write!(f, "profile failed validation: {issue}")
+            }
+            PipelineError::StageFailed { stage, error } => {
+                write!(
+                    f,
+                    "stage {stage} produced an invalid module (rolled back): {error}"
+                )
+            }
+            PipelineError::StagePanicked { message } => {
+                write!(f, "build panicked in a worker thread: {message}")
             }
         }
     }
@@ -159,6 +292,7 @@ impl<'m> ImageBuilder<'m> {
             base: self.base,
             profile,
             config: PibeConfig::lto(),
+            sabotage: None,
         }
     }
 }
@@ -171,6 +305,7 @@ pub struct ProfiledImageBuilder<'m, 'p> {
     base: &'m Module,
     profile: &'p Profile,
     config: PibeConfig,
+    sabotage: Option<(Stage, ModuleCorruption, u64)>,
 }
 
 impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
@@ -180,41 +315,177 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         self
     }
 
-    /// Runs the hardening phase: clones the base, applies indirect call
-    /// promotion and the security inliner per the configuration (ICP first,
-    /// as in the paper), then the defense transforms, audits the result,
-    /// and verifies the final module.
+    /// Chaos hook: corrupts the module immediately after `stage` runs (the
+    /// corruption only fires if the stage's pass actually executes under
+    /// the configuration), simulating a buggy pass for the transactional
+    /// rollback machinery. Deterministic in `seed`.
+    pub fn inject_fault(mut self, stage: Stage, fault: ModuleCorruption, seed: u64) -> Self {
+        self.sabotage = Some((stage, fault, seed));
+        self
+    }
+
+    fn sabotage(&self, stage: Stage, module: &mut Module) {
+        if let Some((s, fault, seed)) = self.sabotage {
+            if s == stage {
+                fault.apply(module, seed);
+            }
+        }
+    }
+
+    /// Runs the hardening phase: validates (and under
+    /// [`ValidationPolicy::Repair`], repairs) the profile against the base,
+    /// clones the base, applies indirect call promotion and the security
+    /// inliner per the configuration (ICP first, as in the paper), then the
+    /// defense transforms — each stage transactionally, with a post-stage
+    /// verify and rollback-on-failure — audits the result, and verifies the
+    /// final module.
+    ///
+    /// Under [`ValidationPolicy::TrustProfile`] both profile validation and
+    /// the per-stage verification are skipped (the legacy fast path with a
+    /// single end-of-pipeline verify).
     ///
     /// # Errors
-    /// [`PipelineError::InvalidModule`] if the transformed module fails
-    /// structural verification.
+    /// * [`PipelineError::ProfileInvalid`] — strict validation rejected
+    ///   the profile;
+    /// * [`PipelineError::StageFailed`] — a stage produced invalid IR and
+    ///   the failure policy (or the stage being `harden`) aborts;
+    /// * [`PipelineError::InvalidModule`] — the input or final module
+    ///   failed structural verification.
     pub fn build(self) -> Result<Image, PipelineError> {
         let config = self.config;
         let build_start = Instant::now();
         let mut metrics = BuildMetrics::default();
+        let mut faults = FaultLog::default();
+
+        // Stage 0: profile validation/repair.
+        let stage = Instant::now();
+        let mut repair = None;
+        let mut repaired_profile = None;
+        match config.validation {
+            ValidationPolicy::Strict => {
+                if let Some(issue) = self.profile.validate_against(self.base).first() {
+                    return Err(PipelineError::ProfileInvalid(issue));
+                }
+            }
+            ValidationPolicy::Repair => {
+                if !self.profile.validate_against(self.base).is_clean() {
+                    let mut fixed = self.profile.clone();
+                    let report = fixed.repair_against(self.base);
+                    repair = Some(report);
+                    repaired_profile = Some(fixed);
+                }
+            }
+            ValidationPolicy::TrustProfile => {}
+        }
+        let profile = repaired_profile.as_ref().unwrap_or(self.profile);
+        metrics.validate_ns = stage.elapsed().as_nanos() as u64;
+
+        // Per-stage verification is what makes rollback possible; trusting
+        // the profile also means trusting the passes (legacy fast path).
+        let guarded = !matches!(config.validation, ValidationPolicy::TrustProfile);
 
         let stage = Instant::now();
         let mut module = self.base.clone();
         metrics.clone_ns = stage.elapsed().as_nanos() as u64;
 
-        let mut weights = SiteWeights::from_profile(self.profile);
+        // Input verification: reject corrupt bases before any pass touches
+        // them, so a stage failure always implicates the stage.
+        if guarded {
+            let stage = Instant::now();
+            module.verify().map_err(PipelineError::InvalidModule)?;
+            metrics.verify_ns += stage.elapsed().as_nanos() as u64;
+        }
 
+        let mut weights = SiteWeights::from_profile(profile);
+
+        // Stage 1: indirect call promotion (transactional when guarded;
+        // ICP also mutates the site weights, so both are snapshotted).
         let stage = Instant::now();
-        let icp_stats = config
-            .icp
-            .as_ref()
-            .map(|icp| promote_indirect_calls(&mut module, &mut weights, self.profile, icp));
+        let mut icp_stats = None;
+        if let Some(icp) = config.icp.as_ref() {
+            if guarded {
+                let module_snapshot = module.clone();
+                let weights_snapshot = weights.clone();
+                let stats = promote_indirect_calls(&mut module, &mut weights, profile, icp);
+                self.sabotage(Stage::Icp, &mut module);
+                match module.verify() {
+                    Ok(()) => icp_stats = Some(stats),
+                    Err(error) => {
+                        module = module_snapshot;
+                        weights = weights_snapshot;
+                        metrics.rollbacks += 1;
+                        faults.push(Stage::Icp, error.clone());
+                        if matches!(config.failure, FailurePolicy::Abort) {
+                            return Err(PipelineError::StageFailed {
+                                stage: Stage::Icp,
+                                error,
+                            });
+                        }
+                    }
+                }
+            } else {
+                icp_stats = Some(promote_indirect_calls(
+                    &mut module,
+                    &mut weights,
+                    profile,
+                    icp,
+                ));
+                self.sabotage(Stage::Icp, &mut module);
+            }
+        }
         metrics.icp_ns = stage.elapsed().as_nanos() as u64;
 
+        // Stage 2: the security inliner.
         let stage = Instant::now();
-        let inline_stats = config
-            .inliner
-            .as_ref()
-            .map(|inl| run_inliner(&mut module, &weights, self.profile, inl));
+        let mut inline_stats = None;
+        if let Some(inl) = config.inliner.as_ref() {
+            if guarded {
+                let module_snapshot = module.clone();
+                let stats = run_inliner(&mut module, &weights, profile, inl);
+                self.sabotage(Stage::Inline, &mut module);
+                match module.verify() {
+                    Ok(()) => inline_stats = Some(stats),
+                    Err(error) => {
+                        module = module_snapshot;
+                        metrics.rollbacks += 1;
+                        faults.push(Stage::Inline, error.clone());
+                        if matches!(config.failure, FailurePolicy::Abort) {
+                            return Err(PipelineError::StageFailed {
+                                stage: Stage::Inline,
+                                error,
+                            });
+                        }
+                    }
+                }
+            } else {
+                inline_stats = Some(run_inliner(&mut module, &weights, profile, inl));
+                self.sabotage(Stage::Inline, &mut module);
+            }
+        }
         metrics.inline_ns = stage.elapsed().as_nanos() as u64;
 
+        // Stage 3: defenses. A hardening failure always aborts, whatever
+        // the failure policy: shipping an image whose defense stage was
+        // skipped would weaken every surviving indirect branch. (No
+        // snapshot — an abort discards the module either way.)
         let stage = Instant::now();
-        let harden_report = pibe_harden::apply(&mut module, config.defenses);
+        let harden_report;
+        if guarded {
+            let report = pibe_harden::apply(&mut module, config.defenses);
+            self.sabotage(Stage::Harden, &mut module);
+            match module.verify() {
+                Ok(()) => harden_report = report,
+                Err(error) => {
+                    return Err(PipelineError::StageFailed {
+                        stage: Stage::Harden,
+                        error,
+                    });
+                }
+            }
+        } else {
+            harden_report = pibe_harden::apply(&mut module, config.defenses);
+            self.sabotage(Stage::Harden, &mut module);
+        }
         metrics.harden_ns = stage.elapsed().as_nanos() as u64;
 
         let stage = Instant::now();
@@ -225,9 +496,11 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         let size = ImageSize::of(&module, config.defenses);
         metrics.size_ns = stage.elapsed().as_nanos() as u64;
 
+        // Final verification runs under every policy: no image leaves the
+        // pipeline unverified.
         let stage = Instant::now();
         module.verify().map_err(PipelineError::InvalidModule)?;
-        metrics.verify_ns = stage.elapsed().as_nanos() as u64;
+        metrics.verify_ns += stage.elapsed().as_nanos() as u64;
 
         metrics.total_ns = build_start.elapsed().as_nanos() as u64;
         Ok(Image {
@@ -239,6 +512,8 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
             audit,
             size,
             metrics,
+            repair,
+            faults,
         })
     }
 }
@@ -250,8 +525,8 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
 /// profiled kernel.
 ///
 /// # Panics
-/// Panics if the pipeline produces a structurally invalid module (the
-/// builder API returns this as [`PipelineError::InvalidModule`] instead).
+/// Panics if the pipeline refuses to produce an image (the builder API
+/// returns the typed [`PipelineError`] instead).
 pub fn build_image(base: &Module, profile: &Profile, config: &PibeConfig) -> Image {
     Image::builder(base)
         .profile(profile)
@@ -270,7 +545,7 @@ mod tests {
         workloads::{lmbench_suite, WorkloadSpec},
         Kernel, KernelSpec,
     };
-    use pibe_profile::Budget;
+    use pibe_profile::{corrupt_profile, Budget};
 
     fn profiled_kernel() -> (Kernel, Profile) {
         let k = Kernel::generate(KernelSpec::test());
@@ -285,6 +560,8 @@ mod tests {
         let img = build_image(&k.module, &p, &PibeConfig::lto());
         assert_eq!(img.module.code_bytes(), k.module.code_bytes());
         assert!(img.icp_stats.is_none() && img.inline_stats.is_none());
+        assert!(img.repair.is_none(), "clean profile needs no repair");
+        assert!(img.faults.is_empty());
     }
 
     #[test]
@@ -382,12 +659,13 @@ mod tests {
         assert!(m.harden_ns > 0 && m.verify_ns > 0);
         let stage_sum: u64 = m.stages().iter().map(|(_, ns)| ns).sum();
         assert!(m.total_ns >= stage_sum, "total covers the stages");
+        assert_eq!(m.rollbacks, 0, "clean build rolls nothing back");
 
         let mut agg = BuildMetrics::default();
         agg.accumulate(&m);
         agg.accumulate(&m);
         assert_eq!(agg.total_ns, 2 * m.total_ns);
-        assert_eq!(agg.stages()[1].1, 2 * m.icp_ns);
+        assert_eq!(agg.stages()[2].1, 2 * m.icp_ns);
     }
 
     #[test]
@@ -411,7 +689,112 @@ mod tests {
             .config(PibeConfig::lto())
             .build()
             .expect_err("invalid module must be rejected");
-        let PipelineError::InvalidModule(_) = err;
+        assert!(matches!(err, PipelineError::InvalidModule(_)));
         assert!(err.to_string().contains("invalid module"));
+    }
+
+    #[test]
+    fn strict_validation_rejects_a_corrupt_profile_by_name() {
+        let (k, p) = profiled_kernel();
+        let mut seen = 0;
+        for seed in 0..40 {
+            let (bad, _kind, landed) = corrupt_profile(&p, &k.module, seed);
+            if !landed {
+                continue;
+            }
+            seen += 1;
+            let err = Image::builder(&k.module)
+                .profile(&bad)
+                .config(PibeConfig::lax(DefenseSet::ALL).with_validation(ValidationPolicy::Strict))
+                .build()
+                .expect_err("strict mode must reject the corrupt profile");
+            assert!(
+                matches!(err, PipelineError::ProfileInvalid(_)),
+                "seed {seed}: wanted ProfileInvalid, got {err}"
+            );
+        }
+        assert!(seen > 20, "corruptions must land: {seen}/40");
+    }
+
+    #[test]
+    fn repair_mode_builds_through_a_corrupt_profile_and_reports_it() {
+        let (k, p) = profiled_kernel();
+        // Seed chosen so the corruption lands (determinism guarantees it
+        // keeps landing).
+        let (bad, _kind, landed) = corrupt_profile(&p, &k.module, 2);
+        assert!(landed);
+        let img = Image::builder(&k.module)
+            .profile(&bad)
+            .config(PibeConfig::lax(DefenseSet::ALL))
+            .build()
+            .expect("repair mode must build through corruption");
+        let repair = img.repair.expect("repair report attached");
+        assert!(repair.changed(), "repair must have acted");
+        img.module.verify().expect("image verifies");
+    }
+
+    #[test]
+    fn injected_stage_fault_aborts_or_skips_by_policy() {
+        let (k, p) = profiled_kernel();
+        let cfg = PibeConfig::lax(DefenseSet::ALL);
+
+        // Abort (the default): a sabotaged inline stage is a typed error.
+        let err = Image::builder(&k.module)
+            .profile(&p)
+            .config(cfg)
+            .inject_fault(Stage::Inline, ModuleCorruption::DanglingBlock, 11)
+            .build()
+            .expect_err("abort policy must surface the stage fault");
+        match err {
+            PipelineError::StageFailed { stage, .. } => assert_eq!(stage, Stage::Inline),
+            other => panic!("wanted StageFailed, got {other}"),
+        }
+
+        // SkipStage: the stage rolls back, the build completes, and the
+        // fault is on the record.
+        let img = Image::builder(&k.module)
+            .profile(&p)
+            .config(cfg.with_failure(FailurePolicy::SkipStage))
+            .inject_fault(Stage::Inline, ModuleCorruption::DanglingBlock, 11)
+            .build()
+            .expect("skip policy must survive the stage fault");
+        assert!(img.faults.contains(Stage::Inline));
+        assert_eq!(img.metrics.rollbacks, 1);
+        assert!(img.inline_stats.is_none(), "skipped stage reports no stats");
+        assert!(img.icp_stats.is_some(), "other stages still ran");
+        img.module.verify().expect("image verifies");
+
+        // A hardening fault aborts even under SkipStage.
+        let err = Image::builder(&k.module)
+            .profile(&p)
+            .config(cfg.with_failure(FailurePolicy::SkipStage))
+            .inject_fault(Stage::Harden, ModuleCorruption::DanglingBlock, 11)
+            .build()
+            .expect_err("a hardening fault must always abort");
+        match err {
+            PipelineError::StageFailed { stage, .. } => assert_eq!(stage, Stage::Harden),
+            other => panic!("wanted StageFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn skipped_stage_never_weakens_defenses() {
+        let (k, p) = profiled_kernel();
+        let cfg = PibeConfig::lax(DefenseSet::ALL);
+        let clean = build_image(&k.module, &p, &cfg);
+        let degraded = Image::builder(&k.module)
+            .profile(&p)
+            .config(cfg.with_failure(FailurePolicy::SkipStage))
+            .inject_fault(Stage::Icp, ModuleCorruption::DanglingCallee, 5)
+            .build()
+            .expect("skip policy builds");
+        assert!(degraded.faults.contains(Stage::Icp));
+        assert_eq!(degraded.audit.vulnerable_returns, 0);
+        assert!(
+            degraded.audit.vulnerable_icalls <= clean.audit.vulnerable_icalls,
+            "less optimization must not add vulnerable branches ({} > {})",
+            degraded.audit.vulnerable_icalls,
+            clean.audit.vulnerable_icalls
+        );
     }
 }

@@ -19,6 +19,12 @@
 //!
 //! The [`overlap`] module implements the workload-robustness measurement of
 //! §8.4 (shared candidate weight between two workloads at a budget).
+//!
+//! Profiles can be stale (collected on a drifted build) or corrupt
+//! (truncated documents, saturating merges). [`Profile::validate_against`]
+//! detects those inconsistencies relative to a concrete module and
+//! [`Profile::repair_against`] fixes them in place; the [`chaos`] module
+//! deterministically *injects* them for fault-tolerance testing.
 
 //!
 //! ## Example
@@ -51,9 +57,13 @@
 
 pub mod analysis;
 mod budget;
+pub mod chaos;
+mod health;
 pub mod overlap;
 mod profile;
 
 pub use analysis::{direct_concentration, indirect_concentration, top_direct_sites, Concentration};
 pub use budget::{select_by_budget, Budget, BudgetError};
+pub use chaos::{corrupt_profile, ChaosRng, ProfileChaos};
+pub use health::{ProfileHealth, ProfileIssue, ProfileRepair, COUNT_CLAMP};
 pub use profile::{Profile, ProfileStats, ValueProfileEntry};

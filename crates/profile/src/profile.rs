@@ -26,6 +26,15 @@ pub struct Profile {
     returns: HashMap<FuncId, u64>,
 }
 
+/// Mutable views of a profile's four count maps (direct, indirect,
+/// entries, returns), handed out by [`Profile::raw_mut`].
+pub(crate) type RawCounts<'a> = (
+    &'a mut HashMap<SiteId, u64>,
+    &'a mut HashMap<SiteId, Vec<ValueProfileEntry>>,
+    &'a mut HashMap<FuncId, u64>,
+    &'a mut HashMap<FuncId, u64>,
+);
+
 impl Profile {
     /// Creates an empty profile.
     pub fn new() -> Self {
@@ -33,8 +42,12 @@ impl Profile {
     }
 
     /// Records one execution of the direct call at `site`.
+    ///
+    /// Counts saturate at `u64::MAX` instead of overflowing; a saturated
+    /// count is flagged by [`Profile::validate_against`].
     pub fn record_direct(&mut self, site: SiteId) {
-        *self.direct.entry(site).or_insert(0) += 1;
+        let c = self.direct.entry(site).or_insert(0);
+        *c = c.saturating_add(1);
     }
 
     /// Records one execution of the indirect call at `site` resolving to
@@ -45,19 +58,21 @@ impl Profile {
     pub fn record_indirect(&mut self, site: SiteId, target: FuncId) {
         let entries = self.indirect.entry(site).or_default();
         match entries.binary_search_by_key(&target, |e| e.target) {
-            Ok(i) => entries[i].count += 1,
+            Ok(i) => entries[i].count = entries[i].count.saturating_add(1),
             Err(i) => entries.insert(i, ValueProfileEntry { target, count: 1 }),
         }
     }
 
     /// Records one invocation of `func`.
     pub fn record_entry(&mut self, func: FuncId) {
-        *self.entries.entry(func).or_insert(0) += 1;
+        let c = self.entries.entry(func).or_insert(0);
+        *c = c.saturating_add(1);
     }
 
     /// Records one executed return from `func`.
     pub fn record_return(&mut self, func: FuncId) {
-        *self.returns.entry(func).or_insert(0) += 1;
+        let c = self.returns.entry(func).or_insert(0);
+        *c = c.saturating_add(1);
     }
 
     /// Execution count of a direct call site (0 when never seen).
@@ -72,11 +87,12 @@ impl Profile {
         v
     }
 
-    /// Total execution count of an indirect call site across all targets.
+    /// Total execution count of an indirect call site across all targets
+    /// (saturating).
     pub fn indirect_count(&self, site: SiteId) -> u64 {
         self.indirect
             .get(&site)
-            .map(|v| v.iter().map(|e| e.count).sum())
+            .map(|v| v.iter().fold(0u64, |a, e| a.saturating_add(e.count)))
             .unwrap_or(0)
     }
 
@@ -101,43 +117,82 @@ impl Profile {
         self.indirect.iter().map(|(s, v)| (*s, v.as_slice()))
     }
 
+    /// Iterates over `(func, invocation_count)` for all profiled functions.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (FuncId, u64)> + '_ {
+        self.entries.iter().map(|(f, c)| (*f, *c))
+    }
+
+    /// Iterates over `(func, executed_return_count)` for all profiled
+    /// functions.
+    pub fn iter_returns(&self) -> impl Iterator<Item = (FuncId, u64)> + '_ {
+        self.returns.iter().map(|(f, c)| (*f, *c))
+    }
+
+    /// True when the profile recorded nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.direct.is_empty()
+            && self.indirect.is_empty()
+            && self.entries.is_empty()
+            && self.returns.is_empty()
+    }
+
     /// Merges `other` into `self` by summing counts — how the paper
     /// aggregates "all edge execution counts observed across all 11
     /// iterations" (§8).
+    ///
+    /// Sums saturate at `u64::MAX` rather than overflowing; a saturated
+    /// count is reported by [`Profile::validate_against`] and clamped by
+    /// [`Profile::repair_against`].
     pub fn merge(&mut self, other: &Profile) {
         for (s, c) in &other.direct {
-            *self.direct.entry(*s).or_insert(0) += c;
+            let mine = self.direct.entry(*s).or_insert(0);
+            *mine = mine.saturating_add(*c);
         }
         for (s, entries) in &other.indirect {
             let mine = self.indirect.entry(*s).or_default();
             for e in entries {
                 match mine.binary_search_by_key(&e.target, |m| m.target) {
-                    Ok(i) => mine[i].count += e.count,
+                    Ok(i) => mine[i].count = mine[i].count.saturating_add(e.count),
                     Err(i) => mine.insert(i, *e),
                 }
             }
         }
         for (f, c) in &other.entries {
-            *self.entries.entry(*f).or_insert(0) += c;
+            let mine = self.entries.entry(*f).or_insert(0);
+            *mine = mine.saturating_add(*c);
         }
         for (f, c) in &other.returns {
-            *self.returns.entry(*f).or_insert(0) += c;
+            let mine = self.returns.entry(*f).or_insert(0);
+            *mine = mine.saturating_add(*c);
         }
     }
 
-    /// Summary statistics.
+    /// Raw mutable access to the count maps, for the sibling `health` and
+    /// `chaos` modules (repair rewrites entries in place; fault injection
+    /// plants corruptions the public API refuses to create).
+    pub(crate) fn raw_mut(&mut self) -> RawCounts<'_> {
+        (
+            &mut self.direct,
+            &mut self.indirect,
+            &mut self.entries,
+            &mut self.returns,
+        )
+    }
+
+    /// Summary statistics. Weights saturate at `u64::MAX` rather than
+    /// overflowing on pathological (e.g. fault-injected) profiles.
     pub fn stats(&self) -> ProfileStats {
+        let sat = |it: &mut dyn Iterator<Item = u64>| it.fold(0u64, u64::saturating_add);
         ProfileStats {
             direct_sites: self.direct.len() as u64,
             indirect_sites: self.indirect.len() as u64,
             indirect_targets: self.indirect.values().map(|v| v.len() as u64).sum(),
-            direct_weight: self.direct.values().sum(),
-            indirect_weight: self
+            direct_weight: sat(&mut self.direct.values().copied()),
+            indirect_weight: sat(&mut self
                 .indirect
                 .values()
-                .flat_map(|v| v.iter().map(|e| e.count))
-                .sum(),
-            return_weight: self.returns.values().sum(),
+                .flat_map(|v| v.iter().map(|e| e.count))),
+            return_weight: sat(&mut self.returns.values().copied()),
         }
     }
 
@@ -170,9 +225,11 @@ impl Profile {
     ///
     /// # Errors
     /// Returns the underlying `serde_json` error when the input is not a
-    /// valid profile document.
+    /// valid profile document, or a semantic error when the document's
+    /// association lists contain duplicate keys (a map-backed profile
+    /// would silently keep only one of the conflicting counts).
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str::<PortableProfile>(s).map(Into::into)
+        serde_json::from_str::<PortableProfile>(s)?.try_into()
     }
 }
 
@@ -212,14 +269,34 @@ impl From<&Profile> for PortableProfile {
     }
 }
 
-impl From<PortableProfile> for Profile {
-    fn from(p: PortableProfile) -> Self {
-        Profile {
-            direct: p.direct.into_iter().collect(),
-            indirect: p.indirect.into_iter().collect(),
-            entries: p.entries.into_iter().collect(),
-            returns: p.returns.into_iter().collect(),
+/// Collects an association list into a map, rejecting duplicate keys:
+/// plain `collect()` would keep the last occurrence and silently drop the
+/// other count, corrupting the profile on ambiguous input.
+fn collect_unique<K, V>(pairs: Vec<(K, V)>, what: &str) -> Result<HashMap<K, V>, serde_json::Error>
+where
+    K: std::hash::Hash + Eq + Copy + std::fmt::Debug,
+{
+    let mut map = HashMap::with_capacity(pairs.len());
+    for (k, v) in pairs {
+        if map.insert(k, v).is_some() {
+            return Err(serde_json::Error::custom(format!(
+                "duplicate {what} key {k:?} in profile document"
+            )));
         }
+    }
+    Ok(map)
+}
+
+impl TryFrom<PortableProfile> for Profile {
+    type Error = serde_json::Error;
+
+    fn try_from(p: PortableProfile) -> Result<Self, serde_json::Error> {
+        Ok(Profile {
+            direct: collect_unique(p.direct, "direct-site")?,
+            indirect: collect_unique(p.indirect, "indirect-site")?,
+            entries: collect_unique(p.entries, "entry")?,
+            returns: collect_unique(p.returns, "return")?,
+        })
     }
 }
 

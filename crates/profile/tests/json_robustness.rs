@@ -1,0 +1,150 @@
+//! Robustness of the profile's on-disk JSON format.
+//!
+//! Profiles are the one artifact the hardening pipeline reads from disk,
+//! so a hostile or merely bit-rotted document must come back as a typed
+//! [`serde_json::Error`] — never a panic, and never a silently corrupted
+//! profile (duplicate association-list keys would otherwise last-win).
+
+use pibe_ir::{FuncId, SiteId};
+use pibe_profile::Profile;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use serde_json::Value;
+
+fn site(n: u64) -> SiteId {
+    SiteId::from_raw(n)
+}
+
+fn func(n: u32) -> FuncId {
+    FuncId::from_raw(n)
+}
+
+/// A profile exercising all four count maps.
+fn sample_profile() -> Profile {
+    let mut p = Profile::new();
+    for s in 0..4 {
+        for _ in 0..=s {
+            p.record_direct(site(s));
+        }
+    }
+    for t in 0..3 {
+        p.record_indirect(site(100), func(t));
+    }
+    p.record_indirect(site(101), func(7));
+    p.record_entry(func(1));
+    p.record_return(func(1));
+    p.record_return(func(2));
+    p
+}
+
+#[test]
+fn a_profile_round_trips_through_json() {
+    let p = sample_profile();
+    let back = Profile::from_json(&p.to_json()).expect("own output parses");
+    assert_eq!(p, back);
+}
+
+#[test]
+fn malformed_documents_error_never_panic() {
+    let cases: &[&str] = &[
+        "",
+        "   ",
+        "not json",
+        "{",
+        "[",
+        "[1, 2",
+        "null",
+        "42",
+        "true",
+        "\"profile\"",
+        "{}",
+        r#"{"direct": 5, "indirect": [], "entries": [], "returns": []}"#,
+        r#"{"direct": [], "indirect": [], "entries": []}"#,
+        r#"{"direct": [17], "indirect": [], "entries": [], "returns": []}"#,
+        r#"{"direct": [], "indirect": [[]], "entries": [], "returns": []}"#,
+        "{\"direct\": [], \"indirect\": [], \"entries\": [], \"returns\": [],}",
+        "\u{0}\u{1}\u{2}",
+    ];
+    for doc in cases {
+        assert!(
+            Profile::from_json(doc).is_err(),
+            "malformed document parsed as a profile: {doc:?}"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_document_errors() {
+    let doc = sample_profile().to_json();
+    let doc = doc.trim_end();
+    for (end, _) in doc.char_indices() {
+        let prefix = &doc[..end];
+        assert!(
+            Profile::from_json(prefix).is_err(),
+            "truncated document ({end}/{} bytes) parsed as a profile",
+            doc.len()
+        );
+    }
+}
+
+#[test]
+fn duplicate_association_list_keys_are_rejected() {
+    let doc = sample_profile().to_json();
+    for list in ["direct", "indirect", "entries", "returns"] {
+        let mut v: Value = serde_json::from_str(&doc).expect("valid doc parses");
+        let Value::Object(fields) = &mut v else {
+            panic!("profile document is not an object");
+        };
+        let (_, items) = fields
+            .iter_mut()
+            .find(|(k, _)| k == list)
+            .expect("count list present");
+        let Value::Array(items) = items else {
+            panic!("{list} is not an array");
+        };
+        assert!(!items.is_empty(), "{list} fixture list is empty");
+        let dup = items[0].clone();
+        items.push(dup);
+        let ambiguous = serde_json::to_string(&v).expect("doctored doc re-encodes");
+        let err = Profile::from_json(&ambiguous)
+            .expect_err("document with a duplicate key parsed as a profile");
+        assert!(
+            err.to_string().contains("duplicate"),
+            "error does not name the duplicate ({list}): {err}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary profiles survive the trip to JSON and back bit-exact.
+    #[test]
+    fn random_profiles_round_trip(
+        direct in vec((0u64..500, 1usize..6), 0..32),
+        indirect in vec((500u64..900, vec(0u32..200, 1..5)), 0..16),
+        entries in vec(0u32..300, 0..24),
+        returns in vec(0u32..300, 0..24),
+    ) {
+        let mut p = Profile::new();
+        for (s, hits) in direct {
+            for _ in 0..hits {
+                p.record_direct(site(s));
+            }
+        }
+        for (s, targets) in indirect {
+            for t in targets {
+                p.record_indirect(site(s), func(t));
+            }
+        }
+        for f in entries {
+            p.record_entry(func(f));
+        }
+        for f in returns {
+            p.record_return(func(f));
+        }
+        let json = p.to_json();
+        let back = Profile::from_json(&json);
+        prop_assert_eq!(back.as_ref(), Ok(&p), "round trip diverged");
+    }
+}

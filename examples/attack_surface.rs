@@ -19,7 +19,7 @@ use pibe_kernel::KernelSpec;
 use pibe_sim::SimConfig;
 
 fn main() {
-    let lab = Lab::new(KernelSpec::test(), 8, 2);
+    let lab = Lab::new(KernelSpec::test(), 8, 2).expect("profiling run succeeds");
     println!(
         "{:>26} | {:>12} | {:>12} | {:>12} | {:>12}",
         "kernel", "V2 icalls", "V2 ijumps", "ret2spec", "LVI loads"

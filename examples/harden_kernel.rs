@@ -23,7 +23,8 @@ fn main() {
         },
         16,
         3,
-    );
+    )
+    .expect("profiling the pristine kernel succeeds");
     let census = lab.kernel.module.census();
     println!(
         "kernel: {} functions, {} indirect call sites, {} return sites, {} jump tables",

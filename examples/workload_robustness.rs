@@ -24,8 +24,9 @@ fn main() {
         },
         16,
         3,
-    );
-    let (table, summary) = robustness(&lab, 60);
+    )
+    .expect("profiling the pristine kernel succeeds");
+    let (table, summary) = robustness(&lab, 60).expect("robustness experiment runs");
     println!("{table}");
 
     println!("paper's numbers for comparison:");

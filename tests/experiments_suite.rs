@@ -45,7 +45,7 @@ fn lmbench_tables_are_well_formed() {
 
 #[test]
 fn macro_table_is_well_formed() {
-    assert_well_formed(&experiments::table7(lab(), 6), 12);
+    assert_well_formed(&experiments::table7(lab(), 6).expect("table7 runs"), 12);
 }
 
 #[test]
@@ -59,19 +59,19 @@ fn security_tables_are_well_formed() {
 
 #[test]
 fn extension_experiments_are_well_formed() {
-    let (t, _) = experiments::robustness(lab(), 10);
+    let (t, _) = experiments::robustness(lab(), 10).expect("robustness runs");
     assert_well_formed(&t, 6);
     let (t, _) = experiments::rsb_refill_comparison(lab());
     assert_well_formed(&t, 4);
     let (t, _) = experiments::eibrs_comparison(lab());
     assert_well_formed(&t, 4);
-    let (t, _) = experiments::cycle_breakdown(lab());
+    let (t, _) = experiments::cycle_breakdown(lab()).expect("breakdown runs");
     assert_well_formed(&t, 4);
     let (t, _) = experiments::spectre_v1_fencing(lab());
     assert_well_formed(&t, 4);
     let (t, _) = experiments::userspace(100);
     assert_well_formed(&t, 2);
-    let (t, _) = experiments::profiling_convergence(lab());
+    let (t, _) = experiments::profiling_convergence(lab()).expect("convergence runs");
     assert_well_formed(&t, 4);
 }
 

@@ -17,6 +17,13 @@ impl Error {
     fn new(msg: impl Into<String>) -> Self {
         Error(msg.into())
     }
+
+    /// Constructs an error from a caller-supplied message, mirroring
+    /// `serde::de::Error::custom` on the real crate (used by decoders that
+    /// layer semantic validation on top of the JSON grammar).
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
 }
 
 impl fmt::Display for Error {

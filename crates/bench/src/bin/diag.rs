@@ -1,10 +1,18 @@
 //! Diagnostic: per-benchmark ExecStats for LTO vs PIBE-baseline images.
+//!
+//! Pass `--trace` (or set `PIBE_TRACE=1`) to print the hierarchical span
+//! summary of the lab setup and image build after the stats.
 use pibe::experiments::Lab;
 use pibe::PibeConfig;
 use pibe_kernel::{measure::run_latency, workloads::Benchmark, KernelSpec, Syscall};
 use pibe_sim::SimConfig;
 
 fn main() {
+    pibe_trace::init_from_env();
+    if std::env::args().skip(1).any(|a| a == "--trace") {
+        pibe_trace::set_enabled(true);
+    }
+    pibe_trace::set_track_name("main");
     let lab = Lab::new(
         KernelSpec {
             scale: 0.1,
@@ -33,6 +41,12 @@ fn main() {
             .unwrap();
             println!("{} {:>6}: cyc/it {:>8.0} ops {:>8} dc {:>6} ic {:>5} ret {:>6} btbmiss {:>5} icmiss {:>6} rsbmiss {:>4}",
                 name, sc.name(), lat.cycles_per_iter, st.ops, st.dcalls, st.icalls, st.rets, st.btb_misses, st.icache_misses, st.rsb_misses);
+        }
+    }
+    if pibe_trace::enabled() {
+        let data = pibe_trace::take();
+        if !data.is_empty() {
+            println!("\n{}", pibe::report::trace_summary(&data));
         }
     }
 }

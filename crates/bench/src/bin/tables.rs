@@ -12,6 +12,9 @@
 //!                  if set, else the machine's available parallelism)
 //!   --only LIST    comma-separated subset, e.g. "1,5,robustness,fig1"
 //!   --json PATH    additionally write all regenerated tables as JSON
+//!   --trace PATH   enable pipeline tracing, write a Chrome trace-event
+//!                  JSON file (load it at https://ui.perfetto.dev) and
+//!                  print the hierarchical span summary
 //! ```
 //!
 //! Every configuration any table requests is built exactly once through
@@ -40,6 +43,7 @@ struct Args {
     threads: Option<usize>,
     only: Option<Vec<String>>,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +55,7 @@ fn parse_args() -> Args {
         threads: None,
         only: None,
         json: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,6 +73,7 @@ fn parse_args() -> Args {
             }
             "--only" => args.only = Some(val().split(',').map(str::to_string).collect()),
             "--json" => args.json = Some(val()),
+            "--trace" => args.trace = Some(val()),
             "--all" => args.only = None,
             "--list" => {
                 println!(
@@ -87,6 +93,11 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    pibe_trace::init_from_env();
+    if args.trace.is_some() {
+        pibe_trace::set_enabled(true);
+    }
+    pibe_trace::set_track_name("main");
     if let Some(n) = args.threads {
         assert!(n >= 1, "--threads takes a positive integer");
         // The farm reads this when the lab constructs it.
@@ -108,13 +119,17 @@ fn main() {
     // Table 1 and Figure 1 need no kernel.
     if wanted("1") {
         let t0 = Instant::now();
+        let span = pibe_trace::span("table.1");
         let t = experiments::table1();
+        drop(span);
         println!("\n{t}");
         produced.push(t);
         eprintln!("[table 1 in {:.1?}]", t0.elapsed());
     }
     if wanted("fig1") {
+        let span = pibe_trace::span("table.fig1");
         let t = experiments::figure1();
+        drop(span);
         println!("\n{t}");
         produced.push(t);
     }
@@ -141,6 +156,7 @@ fn main() {
     ];
     if !lab_keys.iter().any(|k| wanted(k)) {
         write_json(&args, &produced);
+        finish_trace(&args);
         return;
     }
 
@@ -176,7 +192,9 @@ fn main() {
     for (key, f) in simple {
         if wanted(key) {
             let t0 = Instant::now();
+            let span = pibe_trace::span(format!("table.{key}"));
             let table = f(&lab);
+            drop(span);
             println!("\n{table}");
             produced.push(table);
             eprintln!("[table {key} in {:.1?}]", t0.elapsed());
@@ -184,63 +202,81 @@ fn main() {
     }
     if wanted("12") {
         let t0 = Instant::now();
+        let span = pibe_trace::span("table.12");
         let table = experiments::table12(&lab);
+        drop(span);
         println!("\n{table}");
         produced.push(table);
         eprintln!("[table 12 in {:.1?}]", t0.elapsed());
     }
     if wanted("7") {
         let t0 = Instant::now();
+        let span = pibe_trace::span("table.7");
         let t = or_die(experiments::table7(&lab, args.requests));
+        drop(span);
         println!("\n{t}");
         produced.push(t);
         eprintln!("[table 7 in {:.1?}]", t0.elapsed());
     }
     if wanted("convergence") {
         let t0 = Instant::now();
+        let span = pibe_trace::span("table.convergence");
         let (table, _) = or_die(experiments::profiling_convergence(&lab));
+        drop(span);
         println!("\n{table}");
         produced.push(table);
         eprintln!("[convergence in {:.1?}]", t0.elapsed());
     }
     if wanted("eibrs") {
         let t0 = Instant::now();
+        let span = pibe_trace::span("table.eibrs");
         let (table, _) = experiments::eibrs_comparison(&lab);
+        drop(span);
         println!("\n{table}");
         produced.push(table);
         eprintln!("[eibrs in {:.1?}]", t0.elapsed());
     }
     if wanted("userspace") {
         let t0 = Instant::now();
+        let span = pibe_trace::span("table.userspace");
         let (table, _) = experiments::userspace(400);
+        drop(span);
         println!("\n{table}");
         produced.push(table);
         eprintln!("[userspace in {:.1?}]", t0.elapsed());
     }
     if wanted("v1") {
         let t0 = Instant::now();
+        let span = pibe_trace::span("table.v1");
         let (table, _) = experiments::spectre_v1_fencing(&lab);
+        drop(span);
         println!("\n{table}");
         produced.push(table);
         eprintln!("[v1 in {:.1?}]", t0.elapsed());
     }
     if wanted("breakdown") {
         let t0 = Instant::now();
+        let span = pibe_trace::span("table.breakdown");
         let (table, _) = or_die(experiments::cycle_breakdown(&lab));
+        drop(span);
         println!("\n{table}");
         produced.push(table);
         eprintln!("[breakdown in {:.1?}]", t0.elapsed());
     }
     if wanted("refill") {
         let t0 = Instant::now();
+        let span = pibe_trace::span("table.refill");
         let (table, _) = experiments::rsb_refill_comparison(&lab);
+        drop(span);
         println!("\n{table}");
         produced.push(table);
         eprintln!("[refill in {:.1?}]", t0.elapsed());
     }
     if wanted("robustness") {
         let t0 = Instant::now();
+        let span = pibe_trace::span("table.robustness");
         let (table, _) = or_die(experiments::robustness(&lab, args.requests));
+        drop(span);
         println!("\n{table}");
         produced.push(table);
         eprintln!("[robustness in {:.1?}]", t0.elapsed());
@@ -249,6 +285,26 @@ fn main() {
     println!("\n{build_report}");
     produced.push(build_report);
     write_json(&args, &produced);
+    finish_trace(&args);
+}
+
+/// When tracing is on, drains the tracer: writes the Chrome trace-event
+/// JSON next to `--trace PATH` (when given) and prints the hierarchical
+/// span summary table.
+fn finish_trace(args: &Args) {
+    if !pibe_trace::enabled() {
+        return;
+    }
+    let data = pibe_trace::take();
+    if data.is_empty() {
+        return;
+    }
+    println!("\n{}", pibe::report::trace_summary(&data));
+    if let Some(path) = &args.trace {
+        data.write_chrome_json(path)
+            .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+        eprintln!("[wrote {path}: load it at https://ui.perfetto.dev]");
+    }
 }
 
 /// Summarises the lab's image-farm activity: cache effectiveness and the
@@ -281,6 +337,21 @@ fn build_report(lab: &Lab) -> pibe::report::Table {
         "stage rollbacks".into(),
         metrics.rollbacks.to_string(),
     ]);
+    // Fold tracer aggregates in when tracing is on: span volume and the
+    // per-build wall-clock distribution the pipeline records.
+    if pibe_trace::enabled() {
+        let trace = pibe_trace::snapshot();
+        t.row(vec![
+            "trace spans / tracks".into(),
+            format!("{} / {}", trace.spans.len(), trace.tracks.len()),
+        ]);
+        for (name, h) in &trace.histograms {
+            t.row(vec![
+                format!("trace hist {name} (min/mean/max)"),
+                format!("{} / {:.1} / {}", h.min, h.mean(), h.max),
+            ]);
+        }
+    }
     t
 }
 

@@ -129,10 +129,19 @@ impl Lab {
     /// [`ExperimentError::Profiling`] naming the workload and seed when the
     /// profiling run fails.
     pub fn new(spec: KernelSpec, iters: u32, rounds: u32) -> Result<Lab, ExperimentError> {
+        let _lab_span = pibe_trace::span_args("lab.setup", || {
+            vec![
+                ("iters", pibe_trace::Value::from(iters as u64)),
+                ("rounds", pibe_trace::Value::from(rounds as u64)),
+            ]
+        });
+        let gen_span = pibe_trace::span("lab.kernel_gen");
         let kernel = Kernel::generate(spec);
+        drop(gen_span);
         let workload = WorkloadSpec::lmbench();
         let suite = lmbench_suite(iters);
         let seed = 0xBA5E;
+        let profile_span = pibe_trace::span("lab.profile");
         let profile =
             collect_profile(&kernel, &workload, &suite, rounds, seed).map_err(|source| {
                 ExperimentError::Profiling {
@@ -141,6 +150,8 @@ impl Lab {
                     source,
                 }
             })?;
+        drop(profile_span);
+        let baseline_span = pibe_trace::span("lab.baseline");
         let lto_latencies = eval::lmbench_latencies(
             &kernel.module,
             &kernel,
@@ -149,6 +160,7 @@ impl Lab {
             SimConfig::default(),
             seed,
         );
+        drop(baseline_span);
         let farm =
             ImageFarm::with_shared(Arc::new(kernel.module.clone()), Arc::new(profile.clone()));
         Ok(Lab {

@@ -18,6 +18,7 @@ use pibe_profile::Profile;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// One build slot: filled exactly once, shared by every requester.
 type Slot = Arc<OnceLock<Result<Arc<Image>, PipelineError>>>;
@@ -133,9 +134,40 @@ impl ImageFarm {
     /// pool, so one poisoned configuration cannot take a whole batch of
     /// experiments with it.
     fn fetch(&self, config: &PibeConfig) -> Result<Arc<Image>, PipelineError> {
+        self.fetch_queued(config, None)
+    }
+
+    /// [`ImageFarm::fetch`] with queue-wait attribution: `queued_at` is when
+    /// the configuration entered a batch's pending list, so the build span
+    /// records how long it waited for a worker (visible per-track in the
+    /// exported trace).
+    fn fetch_queued(
+        &self,
+        config: &PibeConfig,
+        queued_at: Option<Instant>,
+    ) -> Result<Arc<Image>, PipelineError> {
         let slot = self.slot(config);
+        if let Some(cached) = slot.get() {
+            pibe_trace::event("farm.cache_hit");
+            return cached.clone();
+        }
         slot.get_or_init(|| {
             self.builds.fetch_add(1, Ordering::Relaxed);
+            let _span = pibe_trace::span_args("farm.build", || {
+                let mut args = vec![
+                    (
+                        "defenses",
+                        pibe_trace::Value::from(format!("{:?}", config.defenses)),
+                    ),
+                    ("optimizes", pibe_trace::Value::from(config.optimizes())),
+                ];
+                if let Some(q) = queued_at {
+                    let wait_us = q.elapsed().as_micros() as u64;
+                    pibe_trace::record_value("farm.queue_wait_us", wait_us);
+                    args.push(("queue_wait_us", pibe_trace::Value::from(wait_us)));
+                }
+                args
+            });
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 Image::builder(&self.base)
                     .profile(&self.profile)
@@ -187,24 +219,35 @@ impl ImageFarm {
             .copied()
             .collect();
 
+        let _batch_span = pibe_trace::span_args("farm.images", || {
+            vec![
+                ("requested", pibe_trace::Value::from(configs.len())),
+                ("pending", pibe_trace::Value::from(pending.len())),
+            ]
+        });
+        let queued_at = Instant::now();
         let workers = self.threads.min(pending.len());
         if workers > 1 {
             let next = AtomicUsize::new(0);
             crossbeam::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(config) = pending.get(i) else { break };
-                        // Errors are cached in the slot and re-surface in
-                        // the ordered collection below.
-                        let _ = self.fetch(config);
+                let (next, pending) = (&next, &pending);
+                for w in 0..workers {
+                    scope.spawn(move |_| {
+                        pibe_trace::set_track_name(format!("worker-{w}"));
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(config) = pending.get(i) else { break };
+                            // Errors are cached in the slot and re-surface
+                            // in the ordered collection below.
+                            let _ = self.fetch_queued(config, Some(queued_at));
+                        }
                     });
                 }
             })
             .expect("farm worker panicked");
         } else {
             for config in &pending {
-                let _ = self.fetch(config);
+                let _ = self.fetch_queued(config, Some(queued_at));
             }
         }
 

@@ -356,9 +356,24 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         let build_start = Instant::now();
         let mut metrics = BuildMetrics::default();
         let mut faults = FaultLog::default();
+        let _build_span = pibe_trace::span_args("pipeline.build", || {
+            vec![
+                ("icp", pibe_trace::Value::from(config.icp.is_some())),
+                ("inline", pibe_trace::Value::from(config.inliner.is_some())),
+                (
+                    "defenses",
+                    pibe_trace::Value::from(format!("{:?}", config.defenses)),
+                ),
+                (
+                    "validation",
+                    pibe_trace::Value::from(format!("{:?}", config.validation)),
+                ),
+            ]
+        });
 
         // Stage 0: profile validation/repair.
         let stage = Instant::now();
+        let trace_span = pibe_trace::span("stage.validate");
         let mut repair = None;
         let mut repaired_profile = None;
         match config.validation {
@@ -379,19 +394,23 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         }
         let profile = repaired_profile.as_ref().unwrap_or(self.profile);
         metrics.validate_ns = stage.elapsed().as_nanos() as u64;
+        drop(trace_span);
 
         // Per-stage verification is what makes rollback possible; trusting
         // the profile also means trusting the passes (legacy fast path).
         let guarded = !matches!(config.validation, ValidationPolicy::TrustProfile);
 
         let stage = Instant::now();
+        let trace_span = pibe_trace::span("stage.clone");
         let mut module = self.base.clone();
         metrics.clone_ns = stage.elapsed().as_nanos() as u64;
+        drop(trace_span);
 
         // Input verification: reject corrupt bases before any pass touches
         // them, so a stage failure always implicates the stage.
         if guarded {
             let stage = Instant::now();
+            let _trace_span = pibe_trace::span("stage.verify");
             module.verify().map_err(PipelineError::InvalidModule)?;
             metrics.verify_ns += stage.elapsed().as_nanos() as u64;
         }
@@ -401,6 +420,7 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         // Stage 1: indirect call promotion (transactional when guarded;
         // ICP also mutates the site weights, so both are snapshotted).
         let stage = Instant::now();
+        let trace_span = pibe_trace::span("stage.icp");
         let mut icp_stats = None;
         if let Some(icp) = config.icp.as_ref() {
             if guarded {
@@ -414,6 +434,12 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
                         module = module_snapshot;
                         weights = weights_snapshot;
                         metrics.rollbacks += 1;
+                        pibe_trace::event_args("stage.rollback", || {
+                            vec![
+                                ("stage", pibe_trace::Value::from("icp")),
+                                ("error", pibe_trace::Value::from(error.to_string())),
+                            ]
+                        });
                         faults.push(Stage::Icp, error.clone());
                         if matches!(config.failure, FailurePolicy::Abort) {
                             return Err(PipelineError::StageFailed {
@@ -434,9 +460,11 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
             }
         }
         metrics.icp_ns = stage.elapsed().as_nanos() as u64;
+        drop(trace_span);
 
         // Stage 2: the security inliner.
         let stage = Instant::now();
+        let trace_span = pibe_trace::span("stage.inline");
         let mut inline_stats = None;
         if let Some(inl) = config.inliner.as_ref() {
             if guarded {
@@ -448,6 +476,12 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
                     Err(error) => {
                         module = module_snapshot;
                         metrics.rollbacks += 1;
+                        pibe_trace::event_args("stage.rollback", || {
+                            vec![
+                                ("stage", pibe_trace::Value::from("inline")),
+                                ("error", pibe_trace::Value::from(error.to_string())),
+                            ]
+                        });
                         faults.push(Stage::Inline, error.clone());
                         if matches!(config.failure, FailurePolicy::Abort) {
                             return Err(PipelineError::StageFailed {
@@ -463,12 +497,14 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
             }
         }
         metrics.inline_ns = stage.elapsed().as_nanos() as u64;
+        drop(trace_span);
 
         // Stage 3: defenses. A hardening failure always aborts, whatever
         // the failure policy: shipping an image whose defense stage was
         // skipped would weaken every surviving indirect branch. (No
         // snapshot — an abort discards the module either way.)
         let stage = Instant::now();
+        let trace_span = pibe_trace::span("stage.harden");
         let harden_report;
         if guarded {
             let report = pibe_harden::apply(&mut module, config.defenses);
@@ -487,22 +523,30 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
             self.sabotage(Stage::Harden, &mut module);
         }
         metrics.harden_ns = stage.elapsed().as_nanos() as u64;
+        drop(trace_span);
 
         let stage = Instant::now();
+        let trace_span = pibe_trace::span("stage.audit");
         let audit = audit(&module, config.defenses);
         metrics.audit_ns = stage.elapsed().as_nanos() as u64;
+        drop(trace_span);
 
         let stage = Instant::now();
+        let trace_span = pibe_trace::span("stage.size");
         let size = ImageSize::of(&module, config.defenses);
         metrics.size_ns = stage.elapsed().as_nanos() as u64;
+        drop(trace_span);
 
         // Final verification runs under every policy: no image leaves the
         // pipeline unverified.
         let stage = Instant::now();
+        let trace_span = pibe_trace::span("stage.verify");
         module.verify().map_err(PipelineError::InvalidModule)?;
         metrics.verify_ns += stage.elapsed().as_nanos() as u64;
+        drop(trace_span);
 
         metrics.total_ns = build_start.elapsed().as_nanos() as u64;
+        pibe_trace::record_value("pipeline.build_us", metrics.total_ns / 1_000);
         Ok(Image {
             module,
             config,

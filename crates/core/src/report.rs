@@ -3,6 +3,39 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Why a table refused a row. Carries the table title, so a malformed row
+/// deep inside an experiment names the table it was destined for instead of
+/// aborting a whole farm report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// The row's cell count does not match the table's header count.
+    RowWidth {
+        /// Title of the table that rejected the row.
+        table: String,
+        /// Number of header columns.
+        expected: usize,
+        /// Number of cells in the offending row.
+        got: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RowWidth {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "table '{table}': row has {got} cells, headers expect {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
 /// A rendered experiment table: a title, column headers, and string rows.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table {
@@ -24,19 +57,33 @@ impl Table {
         }
     }
 
-    /// Appends a row.
-    ///
-    /// # Panics
-    /// Panics if the cell count does not match the header count.
-    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "row width must match headers in '{}'",
-            self.title
-        );
+    /// Appends a row, normalizing its width: a short row is padded with
+    /// empty cells, a long one truncated. This used to panic on a width
+    /// mismatch, which let one malformed row deep inside experiment
+    /// rendering abort a whole farm report; use [`Table::try_row`] to
+    /// detect the mismatch as a typed error instead.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
         self.rows.push(cells);
         self
+    }
+
+    /// Appends a row, rejecting a cell-count mismatch with a
+    /// [`TableError::RowWidth`] naming this table.
+    ///
+    /// # Errors
+    /// [`TableError::RowWidth`] when the cell count does not match the
+    /// header count (the row is not appended).
+    pub fn try_row(&mut self, cells: Vec<String>) -> Result<&mut Self, TableError> {
+        if cells.len() != self.headers.len() {
+            return Err(TableError::RowWidth {
+                table: self.title.clone(),
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
+        self.rows.push(cells);
+        Ok(self)
     }
 }
 
@@ -52,10 +99,12 @@ pub fn micros(v: f64) -> String {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Rendering tolerates ragged rows (the `rows` field is public):
+        // extra cells are ignored, missing ones render empty.
         let ncols = self.headers.len();
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
+            for (i, cell) in row.iter().take(ncols).enumerate() {
                 widths[i] = widths[i].max(cell.len());
             }
         }
@@ -71,16 +120,52 @@ impl fmt::Display for Table {
         writeln!(f)?;
         writeln!(f, "{}", "-".repeat(sep.max(self.title.len())))?;
         for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map_or("", String::as_str);
                 if i > 0 {
                     write!(f, " | ")?;
                 }
-                write!(f, "{cell:>width$}", width = widths[i])?;
+                write!(f, "{cell:>width$}")?;
             }
             writeln!(f)?;
         }
         Ok(())
     }
+}
+
+/// Renders a tracer snapshot as the hierarchical span summary table:
+/// self/total wall-clock per span path (indented by depth), call counts,
+/// and a closing section with the recorded histograms.
+pub fn trace_summary(data: &pibe_trace::TraceData) -> Table {
+    let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
+    let mut t = Table::new(
+        "Trace summary: hierarchical span times (wall-clock, all tracks)",
+        &["span", "count", "total ms", "self ms", "mean us"],
+    );
+    for row in data.summary() {
+        t.row(vec![
+            format!(
+                "{:indent$}{}",
+                "",
+                row.name,
+                indent = 2 * row.depth as usize
+            ),
+            row.count.to_string(),
+            ms(row.total_ns),
+            ms(row.self_ns),
+            format!("{:.1}", row.mean_ns() / 1e3),
+        ]);
+    }
+    for (name, h) in &data.histograms {
+        t.row(vec![
+            format!("hist {name}"),
+            h.count.to_string(),
+            format!("min {}", h.min),
+            format!("mean {:.1}", h.mean()),
+            format!("max {}", h.max),
+        ]);
+    }
+    t
 }
 
 #[cfg(test)]
@@ -101,10 +186,85 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn mismatched_rows_panic() {
+    fn mismatched_rows_are_padded_or_truncated() {
         let mut t = Table::new("Demo", &["A", "B"]);
         t.row(vec!["only one".into()]);
+        t.row(vec!["a".into(), "b".into(), "extra".into()]);
+        assert_eq!(t.rows[0], vec!["only one".to_string(), String::new()]);
+        assert_eq!(t.rows[1], vec!["a".to_string(), "b".to_string()]);
+        let rendered = t.to_string();
+        assert!(rendered.contains("only one"));
+        assert!(!rendered.contains("extra"));
+    }
+
+    #[test]
+    fn try_row_names_the_offending_table() {
+        let mut t = Table::new("Table 7: macro-benchmarks", &["A", "B"]);
+        let err = t.try_row(vec!["only one".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::RowWidth {
+                table: "Table 7: macro-benchmarks".into(),
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("Table 7: macro-benchmarks"));
+        assert!(t.rows.is_empty(), "rejected row is not appended");
+        t.try_row(vec!["a".into(), "b".into()]).unwrap();
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn ragged_rows_render_without_panicking() {
+        // The rows field is public; rendering must tolerate direct pushes.
+        let mut t = Table::new("Demo", &["A", "B"]);
+        t.rows.push(vec!["x".into(), "y".into(), "z".into()]);
+        t.rows.push(vec!["only".into()]);
+        let s = t.to_string();
+        assert!(s.contains('x') && s.contains("only"));
+        assert!(!s.contains('z'));
+    }
+
+    #[test]
+    fn trace_summary_renders_spans_and_histograms() {
+        let data = pibe_trace::TraceData {
+            tracks: vec!["main".into()],
+            spans: vec![
+                pibe_trace::SpanRecord {
+                    track: 0,
+                    id: 1,
+                    parent: 0,
+                    depth: 0,
+                    name: "build".into(),
+                    start_ns: 0,
+                    dur_ns: 2_000_000,
+                    args: Vec::new(),
+                },
+                pibe_trace::SpanRecord {
+                    track: 0,
+                    id: 2,
+                    parent: 1,
+                    depth: 1,
+                    name: "icp".into(),
+                    start_ns: 100,
+                    dur_ns: 500_000,
+                    args: Vec::new(),
+                },
+            ],
+            histograms: vec![("cost".into(), {
+                let mut h = pibe_trace::Histogram::default();
+                h.record(12);
+                h.record(40);
+                h
+            })],
+            ..Default::default()
+        };
+        let t = trace_summary(&data);
+        let s = t.to_string();
+        assert!(s.contains("build"));
+        assert!(s.contains("  icp"), "children indent under parents");
+        assert!(s.contains("hist cost"));
     }
 
     #[test]

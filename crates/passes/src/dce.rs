@@ -53,6 +53,7 @@ pub fn strip_unreachable(
     roots: &[FuncId],
     address_taken: &[FuncId],
 ) -> (Module, DceMap, DceStats) {
+    let _pass_span = pibe_trace::span("pass.dce");
     // Mark phase.
     let mut live: HashSet<FuncId> = HashSet::new();
     let mut work: Vec<FuncId> = Vec::new();
@@ -115,6 +116,13 @@ pub fn strip_unreachable(
         removed_functions: (module.len() - stripped.len()) as u64,
         removed_bytes: module.code_bytes() - stripped.code_bytes(),
     };
+    pibe_trace::event_args("dce.strip", || {
+        vec![
+            ("kept", pibe_trace::Value::from(stats.kept_functions)),
+            ("removed", pibe_trace::Value::from(stats.removed_functions)),
+            ("bytes", pibe_trace::Value::from(stats.removed_bytes)),
+        ]
+    });
     (stripped, DceMap { forward }, stats)
 }
 

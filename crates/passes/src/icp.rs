@@ -94,6 +94,7 @@ pub fn promote_indirect_calls(
     profile: &Profile,
     config: &IcpConfig,
 ) -> IcpStats {
+    let _pass_span = pibe_trace::span("pass.icp");
     let mut stats = IcpStats::default();
 
     // Gather (site, target, weight) candidates from the value profiles.
@@ -155,8 +156,21 @@ pub fn promote_indirect_calls(
                 stats.promoted_sites += 1;
                 stats.promoted_targets += targets;
                 stats.promoted_weight += weight;
+                pibe_trace::event_args("icp.promote", || {
+                    vec![
+                        ("site", pibe_trace::Value::from(site.raw())),
+                        ("targets", pibe_trace::Value::from(targets)),
+                        ("weight", pibe_trace::Value::from(weight)),
+                    ]
+                });
+                pibe_trace::record_value("icp.targets_per_site", targets);
             }
-            PromoteOutcome::Skipped => stats.skipped_sites += 1,
+            PromoteOutcome::Skipped => {
+                stats.skipped_sites += 1;
+                pibe_trace::event_args("icp.skip", || {
+                    vec![("site", pibe_trace::Value::from(site.raw()))]
+                });
+            }
         }
     }
     stats

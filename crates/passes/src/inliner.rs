@@ -116,6 +116,7 @@ pub fn run_inliner(
     profile: &Profile,
     config: &InlinerConfig,
 ) -> InlinerStats {
+    let _pass_span = pibe_trace::span("pass.inline");
     let graph = CallGraph::build(module);
     let mut stats = InlinerStats::default();
 
@@ -175,22 +176,26 @@ pub fn run_inliner(
             || caller_fn.attrs().optnone
         {
             stats.blocked_other_weight += cand.weight;
+            reject_event(&cand, "other", 0);
             continue;
         }
 
         let exempt = cand.weight >= lax_floor;
         let callee_cost = size::function_cost(callee_fn);
+        pibe_trace::record_value("inline.callee_cost", callee_cost as u64);
         if !exempt {
             // Rule 3: a heavyweight callee would deplete the caller's
             // budget that many small hot callees could use.
             if callee_cost > config.rule3_callee_limit {
                 stats.blocked_rule3_weight += cand.weight;
+                reject_event(&cand, "rule3", callee_cost);
                 continue;
             }
             // Rule 2: bound the caller's post-inline complexity.
             let caller_cost = size::function_cost(caller_fn);
             if caller_cost.saturating_add(callee_cost) > config.rule2_caller_limit {
                 stats.blocked_rule2_weight += cand.weight;
+                reject_event(&cand, "rule2", caller_cost.saturating_add(callee_cost));
                 continue;
             }
         }
@@ -199,6 +204,13 @@ pub fn run_inliner(
             Ok(info) => {
                 stats.inlined_sites += 1;
                 stats.inlined_weight += cand.weight;
+                pibe_trace::event_args("inline.accept", || {
+                    vec![
+                        ("site", pibe_trace::Value::from(cand.site.raw())),
+                        ("weight", pibe_trace::Value::from(cand.weight)),
+                        ("callee_cost", pibe_trace::Value::from(callee_cost as u64)),
+                    ]
+                });
                 // Constant-ratio heuristic: the callee's sites, now in the
                 // caller, inherit scaled counts.
                 let invocations = profile.entry_count(cand.callee);
@@ -226,10 +238,25 @@ pub fn run_inliner(
             }
             Err(InlineError::SelfInline { .. }) | Err(InlineError::SiteNotFound { .. }) => {
                 stats.blocked_other_weight += cand.weight;
+                reject_event(&cand, "other", 0);
             }
         }
     }
     stats
+}
+
+/// Emits the cost/benefit decision event for a rejected inline candidate
+/// (`rule` is `rule2`, `rule3`, or `other`; `cost` the complexity that
+/// tripped the rule, 0 when not cost-related).
+fn reject_event(cand: &Candidate, rule: &'static str, cost: u32) {
+    pibe_trace::event_args("inline.reject", || {
+        vec![
+            ("site", pibe_trace::Value::from(cand.site.raw())),
+            ("weight", pibe_trace::Value::from(cand.weight)),
+            ("rule", pibe_trace::Value::from(rule)),
+            ("cost", pibe_trace::Value::from(cost as u64)),
+        ]
+    });
 }
 
 #[cfg(test)]

@@ -31,8 +31,8 @@ pub struct V1Gadget {
 const WINDOW: usize = 4;
 
 /// Finds Listing 3-shaped gadgets: a data-dependent conditional branch
-/// guarding a block that performs two loads within its first [`WINDOW`]
-/// instructions.
+/// guarding a block that performs two loads within its first `WINDOW`
+/// (= 4) instructions.
 pub fn find_v1_gadgets(module: &Module) -> Vec<V1Gadget> {
     let mut out = Vec::new();
     for f in module.functions() {

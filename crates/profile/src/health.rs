@@ -275,6 +275,7 @@ impl Profile {
     /// counts, and overall emptiness. The returned issue list is sorted, so
     /// the same profile/module pair always reports the same first issue.
     pub fn validate_against(&self, module: &Module) -> ProfileHealth {
+        let _span = pibe_trace::span("profile.validate");
         let u = SiteUniverse::of(module);
         let mut issues = Vec::new();
 
@@ -339,6 +340,9 @@ impl Profile {
             }
         }
 
+        pibe_trace::event_args("profile.validated", || {
+            vec![("issues", pibe_trace::Value::from(issues.len()))]
+        });
         ProfileHealth { issues }
     }
 
@@ -349,6 +353,7 @@ impl Profile {
     /// After repair, [`Profile::validate_against`] reports no issues other
     /// than (possibly) [`ProfileIssue::Empty`], which is advisory.
     pub fn repair_against(&mut self, module: &Module) -> ProfileRepair {
+        let _span = pibe_trace::span("profile.repair");
         let u = SiteUniverse::of(module);
         let mut rep = ProfileRepair::default();
         let (direct, indirect, entries, returns) = self.raw_mut();

@@ -1,0 +1,215 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the [trace-event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! consumed by Perfetto and `chrome://tracing`: one `X` (complete) event
+//! per span, `i` (instant) events, `C` counter samples, and `M` metadata
+//! events naming the process and one thread per tracer track. Written by
+//! hand — this crate has no dependencies — with full string escaping.
+
+use crate::{Args, TraceData, Value};
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` as a JSON string body (no surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    escape_into(out, key);
+    out.push_str("\":\"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+fn push_value(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => {
+            // JSON has no NaN/Inf; stringify them.
+            let _ = write!(out, "\"{v}\"");
+        }
+        Value::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn push_args(out: &mut String, args: &Args) {
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        push_value(out, v);
+    }
+    out.push('}');
+}
+
+/// Microsecond timestamp with nanosecond resolution, as the format expects.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+impl TraceData {
+    /// Renders the trace as a Chrome trace-event JSON document
+    /// (`{"traceEvents": [...]}`), loadable in Perfetto or
+    /// `chrome://tracing`. Each tracer track becomes one named thread of a
+    /// single `pibe` process.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(
+            256 + 160 * (self.spans.len() + self.events.len() + self.counters.len()),
+        );
+        out.push_str("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+        };
+
+        sep(&mut out);
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"pibe\"}}",
+        );
+        for (tid, name) in self.tracks.iter().enumerate() {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{"
+            );
+            push_str_field(&mut out, "name", name);
+            out.push_str("}}");
+        }
+
+        for s in &self.spans {
+            sep(&mut out);
+            out.push('{');
+            push_str_field(&mut out, "name", &s.name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"pibe\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}",
+                s.track,
+                us(s.start_ns),
+                us(s.dur_ns)
+            );
+            push_args(&mut out, &s.args);
+            out.push('}');
+        }
+
+        for e in &self.events {
+            sep(&mut out);
+            out.push('{');
+            push_str_field(&mut out, "name", &e.name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"pibe\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{}",
+                e.track,
+                us(e.ts_ns)
+            );
+            push_args(&mut out, &e.args);
+            out.push('}');
+        }
+
+        for c in &self.counters {
+            sep(&mut out);
+            out.push('{');
+            push_str_field(&mut out, "name", &c.name);
+            let _ = write!(
+                out,
+                ",\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"value\":{}}}",
+                c.track,
+                us(c.ts_ns),
+                c.value
+            );
+            out.push('}');
+        }
+
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes [`TraceData::to_chrome_json`] to `path`.
+    ///
+    /// # Errors
+    /// Any I/O error from creating or writing the file.
+    pub fn write_chrome_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanRecord;
+
+    fn data() -> TraceData {
+        TraceData {
+            tracks: vec!["main".into(), "worker \"w\"".into()],
+            spans: vec![SpanRecord {
+                track: 0,
+                id: 1,
+                parent: 0,
+                depth: 0,
+                name: "build".into(),
+                start_ns: 1500,
+                dur_ns: 2500,
+                args: vec![
+                    ("label", Value::Str("a\"b\\c\n".into())),
+                    ("n", Value::U64(3)),
+                    ("x", Value::F64(0.5)),
+                ],
+            }],
+            ..TraceData::default()
+        }
+    }
+
+    #[test]
+    fn emits_metadata_spans_and_escapes() {
+        let json = data().to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("worker \\\"w\\\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.contains("a\\\"b\\\\c\\n"));
+        assert!(json.contains("\"n\":3"));
+        assert!(json.contains("\"x\":0.5"));
+    }
+
+    #[test]
+    fn non_finite_floats_stay_valid_json() {
+        let mut d = data();
+        d.spans[0].args = vec![("bad", Value::F64(f64::NAN))];
+        let json = d.to_chrome_json();
+        assert!(json.contains("\"bad\":\"NaN\""));
+    }
+}

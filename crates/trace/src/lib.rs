@@ -1,0 +1,782 @@
+//! # pibe-trace
+//!
+//! Zero-dependency structured tracing for the PIBE pipeline: nested spans,
+//! instant events, counters, and power-of-two histograms, recorded per
+//! thread and exported either as Chrome trace-event JSON (loadable in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`, one track per
+//! thread) or as a hierarchical plain-text summary.
+//!
+//! ## Design
+//!
+//! * **Off by default, near-zero disabled cost.** Every recording entry
+//!   point starts with a single relaxed load of a `static` [`AtomicBool`];
+//!   when tracing is disabled nothing else runs and no argument is
+//!   materialised (the `*_args` variants take closures evaluated only when
+//!   enabled). Enable programmatically with [`set_enabled`] or through the
+//!   `PIBE_TRACE=1` environment variable via [`init_from_env`].
+//! * **Per-thread buffers, short mutex.** Each thread records into a
+//!   thread-local buffer; the buffer is flushed into the process-wide
+//!   collector under a mutex only when the thread's span stack empties (or
+//!   the thread exits), so concurrent builds never contend per record.
+//! * **Deterministic structure.** Span ids are per-track sequence numbers
+//!   assigned in open order and parent links follow the thread's span
+//!   stack, so for a fixed seed and configuration two runs produce an
+//!   identical span tree (timestamps differ, structure does not).
+//!
+//! ## Example
+//!
+//! ```
+//! pibe_trace::set_enabled(true);
+//! {
+//!     let _build = pibe_trace::span("build");
+//!     {
+//!         let _stage = pibe_trace::span_args("stage.icp", || {
+//!             vec![("sites", pibe_trace::Value::from(3u64))]
+//!         });
+//!         pibe_trace::event("icp.promote");
+//!     }
+//!     pibe_trace::record_value("build.bytes", 4096);
+//! }
+//! let data = pibe_trace::take();
+//! pibe_trace::set_enabled(false);
+//! assert_eq!(data.spans.len(), 2);
+//! assert!(data.to_chrome_json().contains("\"ph\":\"X\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chrome;
+mod summary;
+
+pub use summary::SummaryRow;
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Span, event, and counter names: static strings in the common case,
+/// owned strings for dynamically labelled tracks and tables.
+pub type Name = Cow<'static, str>;
+
+/// One argument value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Arguments attached to a span or event.
+pub type Args = Vec<(&'static str, Value)>;
+
+/// One closed span: a named interval on a track, with its position in the
+/// track's span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The track (thread) the span ran on.
+    pub track: u32,
+    /// Per-track sequence number, assigned in open order starting at 1.
+    pub id: u64,
+    /// Id of the enclosing span on the same track, or 0 for a root span.
+    pub parent: u64,
+    /// Nesting depth (0 for a root span).
+    pub depth: u16,
+    /// Span name.
+    pub name: Name,
+    /// Start, nanoseconds since the tracer epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Arguments captured when the span opened.
+    pub args: Args,
+}
+
+/// One instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// The track (thread) the event fired on.
+    pub track: u32,
+    /// Event name.
+    pub name: Name,
+    /// Timestamp, nanoseconds since the tracer epoch.
+    pub ts_ns: u64,
+    /// Arguments captured with the event.
+    pub args: Args,
+}
+
+/// One counter sample (an absolute value at a point in time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterRecord {
+    /// The track (thread) the sample was taken on.
+    pub track: u32,
+    /// Counter name.
+    pub name: Name,
+    /// Timestamp, nanoseconds since the tracer epoch.
+    pub ts_ns: u64,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// Aggregated power-of-two histogram of `u64` samples.
+///
+/// Bucket 0 counts zero-valued samples; bucket `i >= 1` counts samples `v`
+/// with `2^(i-1) <= v < 2^i`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Power-of-two buckets (see the type docs for the bucket rule).
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Adds one sample, updating count/sum/min/max and the power-of-two
+    /// bucket the value falls in.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        self.max = self.max.max(value);
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, n) in other.buckets.iter().enumerate() {
+            self.buckets[b] += n;
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A drained or cloned snapshot of everything the tracer recorded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceData {
+    /// Track names, indexed by the `track` field of the records.
+    pub tracks: Vec<String>,
+    /// Closed spans, sorted by `(track, id)` (per-track open order).
+    pub spans: Vec<SpanRecord>,
+    /// Instant events, sorted by `(track, ts_ns)`.
+    pub events: Vec<EventRecord>,
+    /// Counter samples, sorted by `(track, ts_ns)`.
+    pub counters: Vec<CounterRecord>,
+    /// Histograms, keyed by name (deterministic order).
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl TraceData {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.events.is_empty()
+            && self.counters.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// The structural skeleton of the span forest: one `(track, depth,
+    /// name)` triple per span in per-track open order. Timestamps and ids
+    /// are excluded, so for a deterministic workload two runs compare
+    /// equal.
+    pub fn structure(&self) -> Vec<(String, u16, String)> {
+        self.spans
+            .iter()
+            .map(|s| {
+                let track = self
+                    .tracks
+                    .get(s.track as usize)
+                    .cloned()
+                    .unwrap_or_default();
+                (track, s.depth, s.name.to_string())
+            })
+            .collect()
+    }
+
+    fn sort(&mut self) {
+        self.spans.sort_by_key(|s| (s.track, s.id));
+        self.events.sort_by_key(|e| (e.track, e.ts_ns));
+        self.counters.sort_by_key(|c| (c.track, c.ts_ns));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global state.
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether tracing is currently enabled. A single relaxed atomic load — the
+/// entire disabled-path cost of every recording entry point.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns tracing on or off process-wide. Spans already open keep recording
+/// until their guard drops.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enables tracing when the `PIBE_TRACE` environment variable is set to
+/// `1` (or `true`/`on`); returns whether tracing is enabled afterwards.
+pub fn init_from_env() -> bool {
+    if let Ok(v) = std::env::var("PIBE_TRACE") {
+        if matches!(v.trim(), "1" | "true" | "on") {
+            set_enabled(true);
+        }
+    }
+    enabled()
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+#[derive(Default)]
+struct Collector {
+    tracks: Vec<String>,
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    counters: Vec<CounterRecord>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+fn collector() -> &'static Mutex<Collector> {
+    static COLLECTOR: OnceLock<Mutex<Collector>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Mutex::new(Collector::default()))
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread recording.
+
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    depth: u16,
+    name: Name,
+    args: Args,
+    start_ns: u64,
+}
+
+/// The thread's recording state. Buffers are flushed into the global
+/// collector when the span stack empties and when the thread exits.
+struct ThreadTrack {
+    track: u32,
+    next_span: u64,
+    open: Vec<OpenSpan>,
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    counters: Vec<CounterRecord>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl ThreadTrack {
+    fn register(name: Option<String>) -> ThreadTrack {
+        let mut c = collector().lock().unwrap();
+        let track = c.tracks.len() as u32;
+        c.tracks
+            .push(name.unwrap_or_else(|| format!("thread-{track}")));
+        ThreadTrack {
+            track,
+            next_span: 1,
+            open: Vec::new(),
+            spans: Vec::new(),
+            events: Vec::new(),
+            counters: Vec::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.spans.is_empty()
+            && self.events.is_empty()
+            && self.counters.is_empty()
+            && self.hists.is_empty()
+        {
+            return;
+        }
+        let mut c = collector().lock().unwrap();
+        c.spans.append(&mut self.spans);
+        c.events.append(&mut self.events);
+        c.counters.append(&mut self.counters);
+        for (name, h) in std::mem::take(&mut self.hists) {
+            c.hists.entry(name).or_default().merge(&h);
+        }
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.open.is_empty() {
+            self.flush();
+        }
+    }
+
+    fn open_span(&mut self, name: Name, args: Args) -> u64 {
+        let id = self.next_span;
+        self.next_span += 1;
+        let parent = self.open.last().map_or(0, |s| s.id);
+        let depth = self.open.len() as u16;
+        self.open.push(OpenSpan {
+            id,
+            parent,
+            depth,
+            name,
+            args,
+            start_ns: now_ns(),
+        });
+        id
+    }
+
+    /// Closes the open span `id`, closing any deeper spans first (a guard
+    /// leaked across an enable/disable toggle must not corrupt the stack).
+    fn close_span(&mut self, id: u64) {
+        let Some(pos) = self.open.iter().rposition(|s| s.id == id) else {
+            return;
+        };
+        let end = now_ns();
+        while self.open.len() > pos {
+            let s = self.open.pop().expect("stack is non-empty");
+            self.spans.push(SpanRecord {
+                track: self.track,
+                id: s.id,
+                parent: s.parent,
+                depth: s.depth,
+                name: s.name,
+                start_ns: s.start_ns,
+                dur_ns: end.saturating_sub(s.start_ns),
+                args: s.args,
+            });
+        }
+        self.maybe_flush();
+    }
+}
+
+impl Drop for ThreadTrack {
+    fn drop(&mut self) {
+        // Close anything still open at thread exit, then flush.
+        let end = now_ns();
+        while let Some(s) = self.open.pop() {
+            self.spans.push(SpanRecord {
+                track: self.track,
+                id: s.id,
+                parent: s.parent,
+                depth: s.depth,
+                name: s.name,
+                start_ns: s.start_ns,
+                dur_ns: end.saturating_sub(s.start_ns),
+                args: s.args,
+            });
+        }
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TRACK: RefCell<Option<ThreadTrack>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the thread's track, registering it on first use. Returns
+/// `None` during thread teardown (the thread-local is gone).
+fn with_track<R>(f: impl FnOnce(&mut ThreadTrack) -> R) -> Option<R> {
+    TRACK
+        .try_with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let track = slot.get_or_insert_with(|| ThreadTrack::register(None));
+            f(track)
+        })
+        .ok()
+}
+
+/// Names the current thread's track (e.g. `worker-3`); shows up as the
+/// thread name in Perfetto and in summaries. Registers the track if the
+/// thread has not recorded yet.
+pub fn set_track_name(name: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    let name = name.into();
+    let _ = with_track(|t| {
+        let mut c = collector().lock().unwrap();
+        if let Some(slot) = c.tracks.get_mut(t.track as usize) {
+            *slot = name;
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Recording API.
+
+/// Closes its span when dropped. Returned by [`span`] and [`span_args`];
+/// inert when tracing was disabled at open time.
+#[derive(Debug)]
+#[must_use = "a span guard records its span when dropped"]
+pub struct SpanGuard {
+    id: u64,
+}
+
+impl SpanGuard {
+    const INERT: SpanGuard = SpanGuard { id: 0 };
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id != 0 {
+            let _ = with_track(|t| t.close_span(self.id));
+        }
+    }
+}
+
+/// Opens a span; it closes (and is recorded) when the returned guard drops.
+#[inline]
+pub fn span(name: impl Into<Name>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::INERT;
+    }
+    open(name.into(), Vec::new())
+}
+
+/// Opens a span with arguments. `args` is only evaluated when tracing is
+/// enabled, so argument formatting is free on the disabled path.
+#[inline]
+pub fn span_args(name: impl Into<Name>, args: impl FnOnce() -> Args) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::INERT;
+    }
+    open(name.into(), args())
+}
+
+fn open(name: Name, args: Args) -> SpanGuard {
+    with_track(|t| SpanGuard {
+        id: t.open_span(name, args),
+    })
+    .unwrap_or(SpanGuard::INERT)
+}
+
+/// Records an instant event.
+#[inline]
+pub fn event(name: impl Into<Name>) {
+    if !enabled() {
+        return;
+    }
+    record_event(name.into(), Vec::new());
+}
+
+/// Records an instant event with arguments; `args` is only evaluated when
+/// tracing is enabled.
+#[inline]
+pub fn event_args(name: impl Into<Name>, args: impl FnOnce() -> Args) {
+    if !enabled() {
+        return;
+    }
+    record_event(name.into(), args());
+}
+
+fn record_event(name: Name, args: Args) {
+    let ts_ns = now_ns();
+    let _ = with_track(|t| {
+        t.events.push(EventRecord {
+            track: t.track,
+            name,
+            ts_ns,
+            args,
+        });
+        t.maybe_flush();
+    });
+}
+
+/// Records a counter sample (an absolute value at the current time),
+/// rendered as a counter track in Perfetto.
+#[inline]
+pub fn counter(name: impl Into<Name>, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let name = name.into();
+    let ts_ns = now_ns();
+    let _ = with_track(|t| {
+        t.counters.push(CounterRecord {
+            track: t.track,
+            name,
+            ts_ns,
+            value,
+        });
+        t.maybe_flush();
+    });
+}
+
+/// Records one sample into the named power-of-two [`Histogram`].
+#[inline]
+pub fn record_value(name: impl Into<Name>, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let name = name.into();
+    let _ = with_track(|t| {
+        t.hists.entry(name.into_owned()).or_default().record(value);
+        t.maybe_flush();
+    });
+}
+
+/// Flushes the current thread's buffers into the global collector even if
+/// spans are still open (open spans keep recording).
+pub fn flush_thread() {
+    let _ = with_track(|t| t.flush());
+}
+
+/// Drains and returns everything recorded so far (flushing the current
+/// thread first). Buffers of *other* threads that are mid-span stay local
+/// until their top-level span closes or the thread exits.
+pub fn take() -> TraceData {
+    flush_thread();
+    let mut c = collector().lock().unwrap();
+    let mut data = TraceData {
+        tracks: c.tracks.clone(),
+        spans: std::mem::take(&mut c.spans),
+        events: std::mem::take(&mut c.events),
+        counters: std::mem::take(&mut c.counters),
+        histograms: std::mem::take(&mut c.hists).into_iter().collect(),
+    };
+    drop(c);
+    data.sort();
+    data
+}
+
+/// Clones everything recorded so far without draining it (flushing the
+/// current thread first).
+pub fn snapshot() -> TraceData {
+    flush_thread();
+    let c = collector().lock().unwrap();
+    let mut data = TraceData {
+        tracks: c.tracks.clone(),
+        spans: c.spans.clone(),
+        events: c.events.clone(),
+        counters: c.counters.clone(),
+        histograms: c.hists.clone().into_iter().collect(),
+    };
+    drop(c);
+    data.sort();
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tracer is process-global; tests that record serialize on this.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let _g = lock();
+        set_enabled(false);
+        let _ = take();
+        {
+            let _s = span("ignored");
+            event("ignored");
+            counter("ignored", 1);
+            record_value("ignored", 1);
+        }
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_ids_are_deterministic() {
+        let _g = lock();
+        set_enabled(false);
+        let _ = take();
+        set_enabled(true);
+        {
+            let _root = span("root");
+            {
+                let _child = span_args("child", || vec![("k", Value::from(7u64))]);
+                let _grand = span("grand");
+            }
+            let _second = span("second");
+        }
+        set_enabled(false);
+        let data = take();
+        let by_name: Vec<(&str, u64, u64, u16)> = data
+            .spans
+            .iter()
+            .map(|s| (s.name.as_ref(), s.id, s.parent, s.depth))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("root", 1, 0, 0),
+                ("child", 2, 1, 1),
+                ("grand", 3, 2, 2),
+                ("second", 4, 1, 1),
+            ]
+        );
+        assert_eq!(data.spans[1].args, vec![("k", Value::U64(7))]);
+        // Parents fully contain their children.
+        let root = &data.spans[0];
+        let child = &data.spans[1];
+        assert!(child.start_ns >= root.start_ns);
+        assert!(child.start_ns + child.dur_ns <= root.start_ns + root.dur_ns);
+    }
+
+    #[test]
+    fn events_counters_histograms_round_trip() {
+        let _g = lock();
+        set_enabled(false);
+        let _ = take();
+        set_enabled(true);
+        event_args("hit", || vec![("n", Value::from(2u64))]);
+        counter("queue", 5);
+        record_value("cost", 0);
+        record_value("cost", 1);
+        record_value("cost", 1000);
+        set_enabled(false);
+        let data = take();
+        assert_eq!(data.events.len(), 1);
+        assert_eq!(data.counters[0].value, 5);
+        let (name, h) = &data.histograms[0];
+        assert_eq!(name, "cost");
+        assert_eq!((h.count, h.min, h.max, h.sum), (3, 0, 1000, 1001));
+        assert_eq!(h.buckets[0], 1, "zero bucket");
+        assert_eq!(h.buckets[1], 1, "value 1 in bucket [1,2)");
+        assert_eq!(h.buckets[10], 1, "1000 in bucket [512,1024)");
+        assert!((h.mean() - 1001.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worker_threads_get_their_own_tracks() {
+        let _g = lock();
+        set_enabled(false);
+        let _ = take();
+        set_enabled(true);
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    set_track_name(format!("worker-{i}"));
+                    let _s = span("work");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_enabled(false);
+        let data = take();
+        assert_eq!(data.spans.len(), 2);
+        let mut names: Vec<String> = data
+            .spans
+            .iter()
+            .map(|s| data.tracks[s.track as usize].clone())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["worker-0", "worker-1"]);
+        // Each track numbered its spans independently from 1.
+        assert!(data.spans.iter().all(|s| s.id == 1 && s.parent == 0));
+    }
+
+    #[test]
+    fn snapshot_preserves_take_drains() {
+        let _g = lock();
+        set_enabled(false);
+        let _ = take();
+        set_enabled(true);
+        {
+            let _s = span("s");
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let taken = take();
+        assert_eq!(taken.spans.len(), 1);
+        assert!(take().is_empty(), "take drains");
+    }
+}

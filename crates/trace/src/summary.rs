@@ -1,0 +1,176 @@
+//! The plain-text side of the exporter: aggregation of the span forest
+//! into hierarchical self/total rows.
+
+use crate::TraceData;
+use std::collections::BTreeMap;
+
+/// One aggregated row of the hierarchical summary: all spans sharing the
+/// same name *path* (root name / child name / ...), across every track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryRow {
+    /// Slash-separated name path from the root span (e.g.
+    /// `pipeline.build/stage.icp`).
+    pub path: String,
+    /// The span name (the last path component).
+    pub name: String,
+    /// Nesting depth (0 for root rows).
+    pub depth: u16,
+    /// Number of spans aggregated into this row.
+    pub count: u64,
+    /// Total wall-clock nanoseconds (including children).
+    pub total_ns: u64,
+    /// Nanoseconds not attributed to any child span.
+    pub self_ns: u64,
+}
+
+impl SummaryRow {
+    /// Mean span duration in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+impl TraceData {
+    /// Aggregates the span forest into hierarchical rows: one per distinct
+    /// name path, with call counts and total/self times summed across all
+    /// tracks. Rows come back in depth-first path order (a parent row
+    /// immediately precedes its children), deterministically.
+    pub fn summary(&self) -> Vec<SummaryRow> {
+        // Resolve each span's name path by walking parent links per track.
+        let mut index: BTreeMap<(u32, u64), usize> = BTreeMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            index.insert((s.track, s.id), i);
+        }
+        let mut paths: Vec<String> = Vec::with_capacity(self.spans.len());
+        for s in &self.spans {
+            let mut parts = vec![s.name.as_ref()];
+            let mut parent = s.parent;
+            while parent != 0 {
+                let Some(&pi) = index.get(&(s.track, parent)) else {
+                    break;
+                };
+                parts.push(self.spans[pi].name.as_ref());
+                parent = self.spans[pi].parent;
+            }
+            parts.reverse();
+            paths.push(parts.join("/"));
+        }
+
+        // Children-total per span, to compute self time.
+        let mut child_ns: Vec<u64> = vec![0; self.spans.len()];
+        for s in &self.spans {
+            if s.parent != 0 {
+                if let Some(&pi) = index.get(&(s.track, s.parent)) {
+                    child_ns[pi] = child_ns[pi].saturating_add(s.dur_ns);
+                }
+            }
+        }
+
+        let mut rows: BTreeMap<String, SummaryRow> = BTreeMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            let row = rows.entry(paths[i].clone()).or_insert_with(|| SummaryRow {
+                path: paths[i].clone(),
+                name: s.name.to_string(),
+                depth: s.depth,
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+            row.count += 1;
+            row.total_ns = row.total_ns.saturating_add(s.dur_ns);
+            row.self_ns = row
+                .self_ns
+                .saturating_add(s.dur_ns.saturating_sub(child_ns[i]));
+        }
+
+        // BTreeMap iteration over slash-separated paths is depth-first
+        // ("a" < "a/b" < "a/c" < "b"), which is exactly the render order.
+        rows.into_values().collect()
+    }
+
+    /// Renders [`TraceData::summary`] plus counters and histograms as an
+    /// indented plain-text block (no table machinery — callers that want
+    /// aligned tables feed the rows into their own renderer).
+    pub fn summary_text(&self) -> String {
+        use std::fmt::Write as _;
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        let _ = writeln!(out, "span (count)  total ms  self ms");
+        for row in self.summary() {
+            let _ = writeln!(
+                out,
+                "{:indent$}{} ({})  {:.2}  {:.2}",
+                "",
+                row.name,
+                row.count,
+                ms(row.total_ns),
+                ms(row.self_ns),
+                indent = 2 * row.depth as usize
+            );
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "hist {name}: n={} min={} mean={:.1} max={}",
+                h.count,
+                h.min,
+                h.mean(),
+                h.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanRecord;
+
+    fn span(track: u32, id: u64, parent: u64, depth: u16, name: &str, dur: u64) -> SpanRecord {
+        SpanRecord {
+            track,
+            id,
+            parent,
+            depth,
+            name: name.to_string().into(),
+            start_ns: 0,
+            dur_ns: dur,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_self_and_total_across_tracks() {
+        let data = TraceData {
+            tracks: vec!["a".into(), "b".into()],
+            spans: vec![
+                span(0, 1, 0, 0, "build", 100),
+                span(0, 2, 1, 1, "icp", 30),
+                span(0, 3, 1, 1, "inline", 50),
+                span(1, 1, 0, 0, "build", 200),
+                span(1, 2, 1, 1, "icp", 80),
+            ],
+            ..TraceData::default()
+        };
+        let rows = data.summary();
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, vec!["build", "build/icp", "build/inline"]);
+        let build = &rows[0];
+        assert_eq!((build.count, build.total_ns), (2, 300));
+        assert_eq!(build.self_ns, 300 - 30 - 50 - 80);
+        let icp = &rows[1];
+        assert_eq!(
+            (icp.count, icp.total_ns, icp.self_ns, icp.depth),
+            (2, 110, 110, 1)
+        );
+        assert!((icp.mean_ns() - 55.0).abs() < 1e-9);
+        let text = data.summary_text();
+        assert!(text.contains("build (2)"));
+        assert!(text.contains("  icp (2)"));
+    }
+}

@@ -150,6 +150,134 @@ impl fmt::Display for ModuleCorruption {
     }
 }
 
+/// A *semantic* module corruption: the result still passes every structural
+/// check in [`Module::verify`], but behaves differently — the class of pass
+/// bug the transactional verify/rollback machinery is blind to, and the
+/// reason the `pibe-difftest` differential oracle exists.
+///
+/// Deliberately kept out of [`ModuleCorruption::ALL`] / `from_seed`: the
+/// chaos acceptance suite asserts that *structural* corruptions fail
+/// verification, which these never do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticCorruption {
+    /// Swap the two successors of one `Cond::Random` branch: the branch
+    /// still draws the same random number, but control lands on the wrong
+    /// side (an inverted condition — a classic miscompile).
+    SwapBranchArms,
+    /// Retarget one direct call at a different (existing) function — a
+    /// devirtualization/promotion targeting bug.
+    RedirectCall,
+    /// Delete one compute op — a "dead store elimination" that was not
+    /// actually dead.
+    DropOp,
+}
+
+impl SemanticCorruption {
+    /// Every semantic corruption kind, in a fixed order.
+    pub const ALL: [SemanticCorruption; 3] = [
+        SemanticCorruption::SwapBranchArms,
+        SemanticCorruption::RedirectCall,
+        SemanticCorruption::DropOp,
+    ];
+
+    /// Applies this corruption to `module`, deterministically from `seed`.
+    /// Returns `false` (module unchanged) when the module has no site of
+    /// the required shape. The corrupted module always verifies.
+    pub fn apply(self, module: &mut Module, seed: u64) -> bool {
+        let mut rng = ChaosRng::new(seed ^ 0x05EE_DBAD_5EED);
+        match self {
+            SemanticCorruption::SwapBranchArms => {
+                let mut branches: Vec<(FuncId, usize)> = Vec::new();
+                for f in module.functions() {
+                    for (b, block) in f.blocks().iter().enumerate() {
+                        if let Terminator::Branch {
+                            cond: pibe_ir::Cond::Random { .. },
+                            then_bb,
+                            else_bb,
+                        } = &block.term
+                        {
+                            if then_bb != else_bb {
+                                branches.push((f.id(), b));
+                            }
+                        }
+                    }
+                }
+                let Some(&(func, b)) = pick(&branches, &mut rng) else {
+                    return false;
+                };
+                if let Terminator::Branch {
+                    then_bb, else_bb, ..
+                } = &mut module.function_mut(func).blocks_mut()[b].term
+                {
+                    std::mem::swap(then_bb, else_bb);
+                }
+                true
+            }
+            SemanticCorruption::RedirectCall => {
+                if module.len() < 2 {
+                    return false;
+                }
+                let mut sites: Vec<(FuncId, usize, usize, FuncId)> = Vec::new();
+                for f in module.functions() {
+                    for (b, block) in f.blocks().iter().enumerate() {
+                        for (i, inst) in block.insts.iter().enumerate() {
+                            if let Inst::Call { callee, .. } = inst {
+                                sites.push((f.id(), b, i, *callee));
+                            }
+                        }
+                    }
+                }
+                let Some(&(func, b, i, old)) = pick(&sites, &mut rng) else {
+                    return false;
+                };
+                // Pick a different existing function (never `func` itself:
+                // a fabricated self-call could recurse forever).
+                let candidates: Vec<FuncId> = module
+                    .func_ids()
+                    .filter(|f| *f != old && *f != func)
+                    .collect();
+                let Some(&wrong) = pick(&candidates, &mut rng) else {
+                    return false;
+                };
+                if let Inst::Call { callee, .. } =
+                    &mut module.function_mut(func).blocks_mut()[b].insts[i]
+                {
+                    *callee = wrong;
+                }
+                true
+            }
+            SemanticCorruption::DropOp => {
+                let mut ops: Vec<(FuncId, usize, usize)> = Vec::new();
+                for f in module.functions() {
+                    for (b, block) in f.blocks().iter().enumerate() {
+                        for (i, inst) in block.insts.iter().enumerate() {
+                            if matches!(inst, Inst::Op(_)) {
+                                ops.push((f.id(), b, i));
+                            }
+                        }
+                    }
+                }
+                let Some(&(func, b, i)) = pick(&ops, &mut rng) else {
+                    return false;
+                };
+                module.function_mut(func).blocks_mut()[b].insts.remove(i);
+                true
+            }
+        }
+    }
+}
+
+impl fmt::Display for SemanticCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SemanticCorruption::SwapBranchArms => "swap-branch-arms",
+            SemanticCorruption::RedirectCall => "redirect-call",
+            SemanticCorruption::DropOp => "drop-op",
+        };
+        f.write_str(name)
+    }
+}
+
 /// Deterministic element pick.
 fn pick<'a, T>(items: &'a [T], rng: &mut ChaosRng) -> Option<&'a T> {
     if items.is_empty() {
@@ -213,6 +341,46 @@ mod tests {
             );
         }
         assert!(landed > 50, "most corruptions must land: {landed}/100");
+    }
+
+    #[test]
+    fn semantic_corruptions_keep_the_module_valid() {
+        // A third function so RedirectCall has somewhere wrong to point.
+        let mut base = sample_module();
+        let mut b = FunctionBuilder::new("decoy", 0);
+        b.op(OpKind::Store);
+        b.ret();
+        base.add_function(b.build());
+        for kind in SemanticCorruption::ALL {
+            let mut landed = 0;
+            for seed in 0..30u64 {
+                let mut m = base.clone();
+                if !kind.apply(&mut m, seed) {
+                    continue;
+                }
+                landed += 1;
+                m.verify()
+                    .unwrap_or_else(|e| panic!("{kind} seed {seed} broke validity: {e}"));
+                assert_ne!(
+                    format!("{m:?}"),
+                    format!("{base:?}"),
+                    "{kind} seed {seed} claims to have landed but changed nothing"
+                );
+            }
+            assert!(landed > 0, "{kind} never landed on the sample module");
+        }
+    }
+
+    #[test]
+    fn semantic_corruption_is_deterministic() {
+        let base = sample_module();
+        for seed in 0..10u64 {
+            let mut a = base.clone();
+            let mut b = base.clone();
+            SemanticCorruption::SwapBranchArms.apply(&mut a, seed);
+            SemanticCorruption::SwapBranchArms.apply(&mut b, seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub struct PibeConfig {
     pub icp: Option<IcpConfig>,
     /// The security inliner, if enabled.
     pub inliner: Option<InlinerConfig>,
+    /// Dead-function elimination after the optimization passes (the
+    /// `--gc-sections` analogue). Roots and address-taken functions are
+    /// derived from the call graph and the profile's value profiles, so the
+    /// pass trusts the profile to name every dynamically reachable target —
+    /// exactly like real DCE trusts relocation/address-taken information.
+    pub dce: bool,
     /// Defenses applied to the remaining branches.
     pub defenses: DefenseSet,
     /// How profile/module inconsistencies are handled.
@@ -75,6 +81,7 @@ impl PibeConfig {
         PibeConfig {
             icp: None,
             inliner: None,
+            dce: false,
             defenses: DefenseSet::NONE,
             validation: ValidationPolicy::default(),
             failure: FailurePolicy::default(),
@@ -153,6 +160,13 @@ impl PibeConfig {
         self
     }
 
+    /// Enables (or disables) dead-function elimination after the
+    /// optimization passes.
+    pub fn with_dce(mut self, dce: bool) -> Self {
+        self.dce = dce;
+        self
+    }
+
     /// The PIBE performance baseline of Table 2: the best optimization
     /// configuration with *no* defenses ("tuned to give the best possible
     /// performance on the LMBench test suite").
@@ -199,6 +213,16 @@ mod tests {
     fn pibe_baseline_has_no_defenses() {
         assert!(PibeConfig::pibe_baseline().defenses.is_none());
         assert!(PibeConfig::pibe_baseline().optimizes());
+    }
+
+    #[test]
+    fn dce_defaults_off_and_keys_the_cache() {
+        let c = PibeConfig::lax(DefenseSet::ALL);
+        assert!(!c.dce, "dce is opt-in");
+        let d = c.with_dce(true);
+        assert!(d.dce);
+        // Part of the farm's content key, like the policies.
+        assert_ne!(c, d);
     }
 
     #[test]

@@ -45,10 +45,10 @@ mod farm;
 mod pipeline;
 pub mod report;
 
-pub use chaos::{corrupt_module, ModuleCorruption};
+pub use chaos::{corrupt_module, ModuleCorruption, SemanticCorruption};
 pub use config::{FailurePolicy, PibeConfig, ValidationPolicy};
 pub use farm::{FarmStats, ImageFarm};
 pub use pipeline::{
     build_image, BuildMetrics, FaultLog, Image, ImageBuilder, ImageSize, PipelineError,
-    ProfiledImageBuilder, Stage, StageFault,
+    ProfiledImageBuilder, Stage, StageFault, StageSnapshot,
 };

@@ -22,11 +22,14 @@
 //! [`build_image`] remains as a thin forwarding wrapper for callers that
 //! want the original panicking signature.
 
-use crate::chaos::ModuleCorruption;
+use crate::chaos::{ModuleCorruption, SemanticCorruption};
 use crate::config::{FailurePolicy, PibeConfig, ValidationPolicy};
 use pibe_harden::{audit, costs, HardenReport, SecurityAudit};
-use pibe_ir::{Module, VerifyError};
-use pibe_passes::{promote_indirect_calls, run_inliner, IcpStats, InlinerStats, SiteWeights};
+use pibe_ir::{FuncId, Module, VerifyError};
+use pibe_passes::{
+    promote_indirect_calls, run_inliner, strip_unreachable, DceMap, DceStats, IcpStats,
+    InlinerStats, SiteWeights,
+};
 use pibe_profile::{Profile, ProfileIssue, ProfileRepair};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -44,6 +47,11 @@ pub struct Image {
     pub icp_stats: Option<IcpStats>,
     /// Inliner statistics, when inlining ran.
     pub inline_stats: Option<InlinerStats>,
+    /// Dead-function elimination statistics, when DCE ran.
+    pub dce_stats: Option<DceStats>,
+    /// Old-id → new-id translation for the DCE renumbering, when DCE ran
+    /// (needed to remap entry tables and target oracles onto the image).
+    pub dce_map: Option<DceMap>,
     /// Jump-table handling report.
     pub harden_report: HardenReport,
     /// Static security classification of every indirect branch (Table 11).
@@ -95,6 +103,8 @@ pub enum Stage {
     Icp,
     /// The security inliner.
     Inline,
+    /// Dead-function elimination.
+    Dce,
     /// The defense transforms.
     Harden,
 }
@@ -105,6 +115,7 @@ impl Stage {
         match self {
             Stage::Icp => "icp",
             Stage::Inline => "inline",
+            Stage::Dce => "dce",
             Stage::Harden => "harden",
         }
     }
@@ -180,6 +191,8 @@ pub struct BuildMetrics {
     pub icp_ns: u64,
     /// The security inliner (zero when the config disables inlining).
     pub inline_ns: u64,
+    /// Dead-function elimination (zero when the config disables DCE).
+    pub dce_ns: u64,
     /// Defense transforms.
     pub harden_ns: u64,
     /// The static security audit.
@@ -198,12 +211,13 @@ pub struct BuildMetrics {
 impl BuildMetrics {
     /// Stage labels and durations in pipeline order (excludes the total
     /// and the rollback counter).
-    pub fn stages(&self) -> [(&'static str, u64); 8] {
+    pub fn stages(&self) -> [(&'static str, u64); 9] {
         [
             ("validate", self.validate_ns),
             ("clone", self.clone_ns),
             ("icp", self.icp_ns),
             ("inline", self.inline_ns),
+            ("dce", self.dce_ns),
             ("harden", self.harden_ns),
             ("audit", self.audit_ns),
             ("size", self.size_ns),
@@ -217,6 +231,7 @@ impl BuildMetrics {
         self.clone_ns += other.clone_ns;
         self.icp_ns += other.icp_ns;
         self.inline_ns += other.inline_ns;
+        self.dce_ns += other.dce_ns;
         self.harden_ns += other.harden_ns;
         self.audit_ns += other.audit_ns;
         self.size_ns += other.size_ns;
@@ -293,19 +308,50 @@ impl<'m> ImageBuilder<'m> {
             profile,
             config: PibeConfig::lto(),
             sabotage: None,
+            semantic_sabotage: None,
+            observer: None,
         }
     }
+}
+
+/// The committed output of one pipeline stage, handed to a stage observer
+/// registered with
+/// [`ProfiledImageBuilder::observe_stages`]. Borrows are only valid for the
+/// duration of the callback; observers that need the module later clone it.
+#[derive(Debug, Clone, Copy)]
+pub struct StageSnapshot<'a> {
+    /// The stage that just committed.
+    pub stage: Stage,
+    /// The module as it stands after the stage.
+    pub module: &'a Module,
+    /// The DCE renumbering, present from the DCE stage onward (needed to
+    /// translate pre-DCE function ids when interpreting later snapshots).
+    pub dce_map: Option<&'a DceMap>,
 }
 
 /// Second builder stage: ready to build. The configuration defaults to the
 /// LTO baseline ([`PibeConfig::lto`]) until [`config`](Self::config)
 /// replaces it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct ProfiledImageBuilder<'m, 'p> {
     base: &'m Module,
     profile: &'p Profile,
     config: PibeConfig,
     sabotage: Option<(Stage, ModuleCorruption, u64)>,
+    semantic_sabotage: Option<(Stage, SemanticCorruption, u64)>,
+    observer: Option<&'m dyn Fn(StageSnapshot<'_>)>,
+}
+
+impl fmt::Debug for ProfiledImageBuilder<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProfiledImageBuilder")
+            .field("base", &self.base.name())
+            .field("config", &self.config)
+            .field("sabotage", &self.sabotage)
+            .field("semantic_sabotage", &self.semantic_sabotage)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
@@ -324,11 +370,53 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         self
     }
 
+    /// Chaos hook for *semantic* faults: corrupts the module immediately
+    /// after `stage` runs with a [`SemanticCorruption`] — IR that still
+    /// verifies but behaves differently. The per-stage verifier cannot
+    /// catch these (that is their point); the `pibe-difftest` differential
+    /// oracle is what this hook exists to exercise. Deterministic in
+    /// `seed`.
+    pub fn inject_semantic_fault(
+        mut self,
+        stage: Stage,
+        fault: SemanticCorruption,
+        seed: u64,
+    ) -> Self {
+        self.semantic_sabotage = Some((stage, fault, seed));
+        self
+    }
+
+    /// Registers an observer invoked with the module as committed after
+    /// each transform stage that ran (in pipeline order: icp, inline, dce,
+    /// harden). Rolled-back stages produce no snapshot — the observer sees
+    /// exactly the intermediate states the image was actually built
+    /// through. This is the differential-testing tap: an oracle can replay
+    /// the same workload against every snapshot and diff the traces.
+    pub fn observe_stages(mut self, observer: &'m dyn Fn(StageSnapshot<'_>)) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
     fn sabotage(&self, stage: Stage, module: &mut Module) {
         if let Some((s, fault, seed)) = self.sabotage {
             if s == stage {
                 fault.apply(module, seed);
             }
+        }
+        if let Some((s, fault, seed)) = self.semantic_sabotage {
+            if s == stage {
+                fault.apply(module, seed);
+            }
+        }
+    }
+
+    fn notify(&self, stage: Stage, module: &Module, dce_map: Option<&DceMap>) {
+        if let Some(obs) = self.observer {
+            obs(StageSnapshot {
+                stage,
+                module,
+                dce_map,
+            });
         }
     }
 
@@ -429,7 +517,10 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
                 let stats = promote_indirect_calls(&mut module, &mut weights, profile, icp);
                 self.sabotage(Stage::Icp, &mut module);
                 match module.verify() {
-                    Ok(()) => icp_stats = Some(stats),
+                    Ok(()) => {
+                        icp_stats = Some(stats);
+                        self.notify(Stage::Icp, &module, None);
+                    }
                     Err(error) => {
                         module = module_snapshot;
                         weights = weights_snapshot;
@@ -457,6 +548,7 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
                     icp,
                 ));
                 self.sabotage(Stage::Icp, &mut module);
+                self.notify(Stage::Icp, &module, None);
             }
         }
         metrics.icp_ns = stage.elapsed().as_nanos() as u64;
@@ -472,7 +564,10 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
                 let stats = run_inliner(&mut module, &weights, profile, inl);
                 self.sabotage(Stage::Inline, &mut module);
                 match module.verify() {
-                    Ok(()) => inline_stats = Some(stats),
+                    Ok(()) => {
+                        inline_stats = Some(stats);
+                        self.notify(Stage::Inline, &module, None);
+                    }
                     Err(error) => {
                         module = module_snapshot;
                         metrics.rollbacks += 1;
@@ -494,12 +589,64 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
             } else {
                 inline_stats = Some(run_inliner(&mut module, &weights, profile, inl));
                 self.sabotage(Stage::Inline, &mut module);
+                self.notify(Stage::Inline, &module, None);
             }
         }
         metrics.inline_ns = stage.elapsed().as_nanos() as u64;
         drop(trace_span);
 
-        // Stage 3: defenses. A hardening failure always aborts, whatever
+        // Stage 3: dead-function elimination. Roots are the call-graph
+        // sources plus every function the profile saw entered; the
+        // address-taken set is every profiled indirect-call target. The
+        // pass trusts the profile here the way real `--gc-sections` trusts
+        // relocations — a target the profile never named *can* be stripped,
+        // which is exactly the kind of assumption the differential oracle
+        // keeps honest. Transactional like the optimization stages; the
+        // pass rebuilds into a fresh module, so rollback is just not
+        // committing it.
+        let stage = Instant::now();
+        let trace_span = pibe_trace::span("stage.dce");
+        let mut dce_stats = None;
+        let mut dce_map = None;
+        if config.dce {
+            let (roots, taken) = dce_roots(&module, profile);
+            let (mut stripped, map, stats) = strip_unreachable(&module, &roots, &taken);
+            self.sabotage(Stage::Dce, &mut stripped);
+            let commit = if guarded {
+                match stripped.verify() {
+                    Ok(()) => true,
+                    Err(error) => {
+                        metrics.rollbacks += 1;
+                        pibe_trace::event_args("stage.rollback", || {
+                            vec![
+                                ("stage", pibe_trace::Value::from("dce")),
+                                ("error", pibe_trace::Value::from(error.to_string())),
+                            ]
+                        });
+                        faults.push(Stage::Dce, error.clone());
+                        if matches!(config.failure, FailurePolicy::Abort) {
+                            return Err(PipelineError::StageFailed {
+                                stage: Stage::Dce,
+                                error,
+                            });
+                        }
+                        false
+                    }
+                }
+            } else {
+                true
+            };
+            if commit {
+                module = stripped;
+                dce_stats = Some(stats);
+                self.notify(Stage::Dce, &module, Some(&map));
+                dce_map = Some(map);
+            }
+        }
+        metrics.dce_ns = stage.elapsed().as_nanos() as u64;
+        drop(trace_span);
+
+        // Stage 4: defenses. A hardening failure always aborts, whatever
         // the failure policy: shipping an image whose defense stage was
         // skipped would weaken every surviving indirect branch. (No
         // snapshot — an abort discards the module either way.)
@@ -522,6 +669,7 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
             harden_report = pibe_harden::apply(&mut module, config.defenses);
             self.sabotage(Stage::Harden, &mut module);
         }
+        self.notify(Stage::Harden, &module, dce_map.as_ref());
         metrics.harden_ns = stage.elapsed().as_nanos() as u64;
         drop(trace_span);
 
@@ -552,6 +700,8 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
             config,
             icp_stats,
             inline_stats,
+            dce_stats,
+            dce_map,
             harden_report,
             audit,
             size,
@@ -560,6 +710,42 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
             faults,
         })
     }
+}
+
+/// Derives the DCE root and address-taken sets from the profile.
+///
+/// * Roots: every function the profile recorded an entry for. The profiler
+///   records an entry on *every* dynamic function entry, so this is the set
+///   of functions the profiling workload actually reached — the model's
+///   `--gc-sections` keep-list.
+/// * Address-taken: every target named by any value profile — the model's
+///   stand-in for relocation-visible function addresses (an indirect call
+///   may reach them even when no static edge does).
+///
+/// An empty profile yields no information, so every function becomes a
+/// root (DCE degrades to a verified no-op rather than stripping the whole
+/// module). Profile entries naming out-of-range functions are ignored
+/// (they only survive validation under
+/// [`ValidationPolicy::TrustProfile`]).
+fn dce_roots(module: &Module, profile: &Profile) -> (Vec<FuncId>, Vec<FuncId>) {
+    let nfuncs = module.len();
+    let roots: Vec<FuncId> = profile
+        .iter_entries()
+        .map(|(func, _count)| func)
+        .filter(|f| f.index() < nfuncs)
+        .collect();
+    if roots.is_empty() {
+        return (module.func_ids().collect(), Vec::new());
+    }
+    let mut taken: Vec<FuncId> = Vec::new();
+    for (_site, entries) in profile.iter_indirect() {
+        for e in entries {
+            if e.target.index() < nfuncs {
+                taken.push(e.target);
+            }
+        }
+    }
+    (roots, taken)
 }
 
 /// Runs the hardening phase with the original signature; forwards to
@@ -819,6 +1005,87 @@ mod tests {
             PipelineError::StageFailed { stage, .. } => assert_eq!(stage, Stage::Harden),
             other => panic!("wanted StageFailed, got {other}"),
         }
+    }
+
+    #[test]
+    fn dce_stage_strips_cold_mass_and_reports_the_map() {
+        let (k, p) = profiled_kernel();
+        let cfg = PibeConfig::lax(DefenseSet::ALL).with_dce(true);
+        let img = Image::builder(&k.module)
+            .profile(&p)
+            .config(cfg)
+            .build()
+            .expect("dce build succeeds");
+        let stats = img.dce_stats.expect("dce ran");
+        assert!(stats.removed_functions > 0, "cold mass stripped");
+        let map = img.dce_map.expect("map attached");
+        img.module.verify().unwrap();
+        // Profiled syscall entries survive and the map translates them.
+        let entry = k.module.find_function("sys_read").expect("entry exists");
+        let new_entry = map.translate(entry).expect("profiled entry kept");
+        assert_eq!(img.module.function(new_entry).name(), "sys_read");
+        // Without the knob nothing changes.
+        let plain = Image::builder(&k.module)
+            .profile(&p)
+            .config(PibeConfig::lax(DefenseSet::ALL))
+            .build()
+            .expect("builds");
+        assert!(plain.dce_stats.is_none() && plain.dce_map.is_none());
+        assert!(plain.module.len() > img.module.len());
+    }
+
+    #[test]
+    fn stage_observer_sees_each_committed_stage_in_order() {
+        use std::cell::RefCell;
+        let (k, p) = profiled_kernel();
+        let seen: RefCell<Vec<(Stage, usize, bool)>> = RefCell::new(Vec::new());
+        let obs = |s: StageSnapshot<'_>| {
+            seen.borrow_mut()
+                .push((s.stage, s.module.len(), s.dce_map.is_some()));
+        };
+        let img = Image::builder(&k.module)
+            .profile(&p)
+            .config(PibeConfig::lax(DefenseSet::ALL).with_dce(true))
+            .observe_stages(&obs)
+            .build()
+            .expect("builds");
+        let seen = seen.into_inner();
+        let stages: Vec<Stage> = seen.iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(
+            stages,
+            vec![Stage::Icp, Stage::Inline, Stage::Dce, Stage::Harden]
+        );
+        // The dce map is visible from the dce snapshot onward, and the
+        // final snapshot is the image module.
+        assert!(!seen[0].2 && !seen[1].2 && seen[2].2 && seen[3].2);
+        assert_eq!(seen[3].1, img.module.len());
+        // A config that runs no optimization stages only snapshots harden.
+        let seen2: RefCell<Vec<Stage>> = RefCell::new(Vec::new());
+        let obs2 = |s: StageSnapshot<'_>| seen2.borrow_mut().push(s.stage);
+        Image::builder(&k.module)
+            .profile(&p)
+            .config(PibeConfig::lto())
+            .observe_stages(&obs2)
+            .build()
+            .expect("builds");
+        assert_eq!(seen2.into_inner(), vec![Stage::Harden]);
+    }
+
+    #[test]
+    fn semantic_faults_slip_past_the_stage_verifier() {
+        // The structural rollback machinery must NOT catch a semantic
+        // corruption: the build succeeds, nothing rolls back — which is
+        // precisely why the differential oracle exists.
+        let (k, p) = profiled_kernel();
+        let img = Image::builder(&k.module)
+            .profile(&p)
+            .config(PibeConfig::lax(DefenseSet::ALL))
+            .inject_semantic_fault(Stage::Inline, SemanticCorruption::SwapBranchArms, 9)
+            .build()
+            .expect("semantically-wrong IR still builds");
+        assert!(img.faults.is_empty(), "no stage fault recorded");
+        assert_eq!(img.metrics.rollbacks, 0);
+        img.module.verify().expect("corrupted image still verifies");
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! The seeded random-program generator shared by the difftest fuzzer and the
+//! workspace property tests.
+//!
+//! One generator, two front doors:
+//!
+//! * [`generate_plans`]`(seed, &cfg)` — the fuzzer's entry point: a seed
+//!   deterministically expands to a list of [`FnPlan`]s;
+//! * [`plans`]`(cfg)` — a [`proptest`](::proptest) [`Strategy`] adapter that
+//!   draws one `u64` from the property-test RNG and delegates to the *same*
+//!   `generate_plans`. The property tests and the fuzzer therefore exercise
+//!   exactly the same program distribution — there is no second generator to
+//!   drift.
+//!
+//! The grammar is deliberately richer than a straight-line DAG: diamonds,
+//! chain- and table-lowered switches (including zero-weight arms), guarded
+//! backedges and self-recursion (bounded taken probability, so termination is
+//! geometric), unreachable blocks (the verifier allows them; DCE-adjacent
+//! passes must not choke), `noinline`/`optnone` attribute combinations, and
+//! skewed/empty/all-zero-weight indirect target distributions.
+//!
+//! Termination is by construction, not by luck: direct and indirect call
+//! targets are restricted to *earlier* functions (a DAG), the only cycles are
+//! self-calls and loop backedges guarded by `Cond::Random` with taken
+//! probability ≤ 1/2, so expected iteration counts are tiny and the
+//! simulator's step/depth limits are unreachable in practice.
+
+use pibe_ir::{Cond, FnAttrs, FuncId, FunctionBuilder, Module, OpKind, SiteId};
+use pibe_sim::MapResolver;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Tuning knobs for the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Minimum number of functions per module (≥ 1).
+    pub min_funcs: usize,
+    /// Maximum number of functions per module.
+    pub max_funcs: usize,
+    /// Maximum straight-line ops per function body.
+    pub max_ops: usize,
+    /// How many times the oracle invokes the entry function per trace.
+    pub runs: u32,
+    /// Enable the rich constructs (switches, loops, recursion, dead blocks,
+    /// attributes). With `rich: false` the grammar degenerates to the old
+    /// proptest shape: ops, diamonds, direct and indirect calls.
+    pub rich: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            min_funcs: 2,
+            max_funcs: 10,
+            max_ops: 24,
+            runs: 6,
+            rich: true,
+        }
+    }
+}
+
+/// The per-function blueprint the generator expands into IR.
+///
+/// Plans are plain data so shrinking and property tests can inspect them;
+/// [`build_module`] is the single place plans become IR.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnPlan {
+    /// Straight-line op count, split across the body sections.
+    pub ops: usize,
+    /// Rotates which [`OpKind`]s the body uses, so traces are op-diverse.
+    pub op_salt: u8,
+    /// Indices (mod the number of *earlier* functions) to call directly.
+    pub direct_calls: Vec<usize>,
+    /// Emit one unresolved indirect call site (only lands when at least one
+    /// earlier function exists to target).
+    pub has_indirect: bool,
+    /// Emit a `Load`/`Store` diamond guarded by a `Cond::Random`.
+    pub branchy: bool,
+    /// Number of switch arms (0 = no switch; arm weights include zeros).
+    pub switch_arms: u8,
+    /// Lower the switch through a jump table (the hardenable kind).
+    pub via_table: bool,
+    /// Backedge taken probability in per-mille; 0 = no loop. Capped at 500
+    /// so loop trip counts stay geometric with ratio ≤ 1/2.
+    pub loop_milli: u16,
+    /// Guarded self-call probability in per-mille; 0 = no self-recursion.
+    pub recurse_milli: u16,
+    /// Append an unreachable block after the return (legal IR; exercises
+    /// passes against dead code).
+    pub dead_block: bool,
+    /// Mark the function `noinline`.
+    pub noinline: bool,
+    /// Mark the function `optnone`.
+    pub optnone: bool,
+    /// Stack frame size in bytes.
+    pub frame_bytes: u32,
+    /// Formal argument count (drives call-cost modelling).
+    pub args: u8,
+}
+
+fn plan_from_rng(rng: &mut SmallRng, cfg: &GenConfig) -> FnPlan {
+    let rich = cfg.rich;
+    let pct = |rng: &mut SmallRng| rng.gen_range(0u32..100);
+    FnPlan {
+        ops: rng.gen_range(1..cfg.max_ops.max(2)),
+        op_salt: rng.gen_range(0u8..6),
+        direct_calls: {
+            let n = rng.gen_range(0usize..3);
+            (0..n).map(|_| rng.gen_range(0usize..1000)).collect()
+        },
+        has_indirect: pct(rng) < 40,
+        branchy: pct(rng) < 50,
+        switch_arms: if rich && pct(rng) < 30 {
+            rng.gen_range(2u8..6)
+        } else {
+            0
+        },
+        via_table: pct(rng) < 50,
+        loop_milli: if rich && pct(rng) < 25 {
+            rng.gen_range(100u16..500)
+        } else {
+            0
+        },
+        recurse_milli: if rich && pct(rng) < 20 {
+            rng.gen_range(50u16..300)
+        } else {
+            0
+        },
+        dead_block: rich && pct(rng) < 20,
+        noinline: rich && pct(rng) < 15,
+        optnone: rich && pct(rng) < 10,
+        frame_bytes: [16, 64, 128, 512][rng.gen_range(0usize..4)],
+        args: rng.gen_range(0u8..4),
+    }
+}
+
+/// Expands `seed` into a deterministic list of function plans.
+///
+/// Identical `(seed, cfg)` pairs produce identical plans on every platform:
+/// the only entropy source is a [`SmallRng`] seeded from `seed`.
+pub fn generate_plans(seed: u64, cfg: &GenConfig) -> Vec<FnPlan> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1FF_7E57_0000_0001);
+    let n = rng.gen_range(cfg.min_funcs.max(1)..=cfg.max_funcs.max(cfg.min_funcs.max(1)));
+    (0..n).map(|_| plan_from_rng(&mut rng, cfg)).collect()
+}
+
+/// An indirect call site and the index of the function containing it.
+///
+/// The owner index lets resolver generation restrict targets to *earlier*
+/// functions, keeping the dynamic call graph a DAG (plus bounded
+/// self-recursion) so generated programs always terminate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndirectSite {
+    /// The unresolved indirect call site.
+    pub site: SiteId,
+    /// Index of the function the site appears in.
+    pub owner: usize,
+}
+
+/// Expands plans into a module.
+///
+/// Returns the module, its indirect call sites (with owners), and the entry
+/// function (always the last function, so it can reach every other one).
+pub fn build_module(plans: &[FnPlan]) -> (Module, Vec<IndirectSite>, FuncId) {
+    assert!(!plans.is_empty(), "a module needs at least one function");
+    let mut m = Module::new("difftest");
+    let mut isites = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        let self_id = FuncId::from_raw(i as u32);
+        let kind = |j: usize| OpKind::ALL[(plan.op_salt as usize + j) % OpKind::ALL.len()];
+        let mut b = FunctionBuilder::new(format!("f{i}"), plan.args);
+        b.attrs(FnAttrs {
+            noinline: plan.noinline,
+            optnone: plan.optnone,
+            ..FnAttrs::default()
+        });
+        b.frame_bytes(plan.frame_bytes);
+
+        let head = plan.ops / 2;
+        for j in 0..head {
+            b.op(kind(j));
+        }
+
+        if plan.branchy {
+            let then_bb = b.new_block();
+            let else_bb = b.new_block();
+            let merge = b.new_block();
+            b.branch(Cond::Random { ptaken_milli: 400 }, then_bb, else_bb);
+            b.switch_to(then_bb);
+            b.op(OpKind::Load);
+            b.jump(merge);
+            b.switch_to(else_bb);
+            b.op(OpKind::Store);
+            b.jump(merge);
+            b.switch_to(merge);
+        }
+
+        if plan.switch_arms >= 2 {
+            let merge = b.new_block();
+            let arms: Vec<_> = (0..plan.switch_arms).map(|_| b.new_block()).collect();
+            let default = b.new_block();
+            // Arm 0 gets weight 0 on purpose: zero-weight arms are legal and
+            // must never be selected.
+            let weights: Vec<u16> = (0..arms.len()).map(|k| (k % 3) as u16).collect();
+            b.switch(weights, arms.clone(), 1, default, plan.via_table);
+            for (k, arm) in arms.iter().enumerate() {
+                b.switch_to(*arm);
+                b.op(kind(k));
+                b.jump(merge);
+            }
+            b.switch_to(default);
+            b.op(OpKind::Cmp);
+            b.jump(merge);
+            b.switch_to(merge);
+        }
+
+        if plan.loop_milli > 0 {
+            let body = b.new_block();
+            let exit = b.new_block();
+            b.jump(body);
+            b.switch_to(body);
+            b.op(kind(1));
+            b.branch(
+                Cond::Random {
+                    ptaken_milli: plan.loop_milli.min(500),
+                },
+                body,
+                exit,
+            );
+            b.switch_to(exit);
+        }
+
+        if plan.recurse_milli > 0 {
+            let rec = b.new_block();
+            let cont = b.new_block();
+            b.branch(
+                Cond::Random {
+                    ptaken_milli: plan.recurse_milli.min(500),
+                },
+                rec,
+                cont,
+            );
+            b.switch_to(rec);
+            let site = m.fresh_site();
+            b.call(site, self_id, plan.args);
+            b.jump(cont);
+            b.switch_to(cont);
+        }
+
+        if i > 0 {
+            for &c in &plan.direct_calls {
+                let callee = FuncId::from_raw((c % i) as u32);
+                let site = m.fresh_site();
+                b.call(site, callee, plan.args);
+            }
+            if plan.has_indirect {
+                let site = m.fresh_site();
+                b.call_indirect(site, plan.args);
+                isites.push(IndirectSite { site, owner: i });
+            }
+        }
+
+        for j in head..plan.ops {
+            b.op(kind(j));
+        }
+        b.ret();
+
+        if plan.dead_block {
+            let dead = b.new_block();
+            b.switch_to(dead);
+            b.op(OpKind::Fence);
+            b.ret();
+        }
+
+        m.add_function(b.build());
+    }
+    let entry = FuncId::from_raw((plans.len() - 1) as u32);
+    (m, isites, entry)
+}
+
+/// A portable description of an indirect-call target oracle.
+///
+/// Targets are named by *function name*, not [`FuncId`]: ids are renumbered
+/// by DCE, names survive every pass, so one spec binds cleanly against every
+/// stage's output module. Binding silently drops names the module no longer
+/// contains — by construction those entries carry zero dynamic weight (a
+/// stripped function was never a resolvable target), so dropping them does
+/// not perturb the resolver's RNG draws.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResolverSpec {
+    /// Per-site weighted target lists. Empty or all-zero-weight lists are
+    /// legal and mean the site never resolves (`SimError::UnknownTarget`).
+    pub entries: Vec<(SiteId, Vec<(String, u32)>)>,
+}
+
+impl ResolverSpec {
+    /// Binds the spec against a concrete module, translating names to ids.
+    pub fn bind(&self, module: &Module) -> MapResolver {
+        let mut r = MapResolver::new();
+        for (site, targets) in &self.entries {
+            let bound: Vec<(FuncId, u32)> = targets
+                .iter()
+                .filter_map(|(name, w)| module.find_function(name).map(|f| (f, *w)))
+                .collect();
+            r.insert(*site, bound);
+        }
+        r
+    }
+}
+
+/// A complete, replayable differential test case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// The seed the case was generated from (0 for hand-written fixtures).
+    pub seed: u64,
+    /// How many times the oracle invokes the entry function.
+    pub runs: u32,
+    /// The baseline module fed to the pipeline.
+    pub module: Module,
+    /// The entry function.
+    pub entry: FuncId,
+    /// The indirect-call target oracle.
+    pub resolver: ResolverSpec,
+}
+
+const SKEW: [u32; 4] = [1000, 40, 3, 1];
+
+/// Expands `seed` into a full test case: module plus resolver spec.
+pub fn gen_case(seed: u64, cfg: &GenConfig) -> Case {
+    let plans = generate_plans(seed, cfg);
+    let (module, isites, entry) = build_module(&plans);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1FF_7E57_0000_0002);
+    let mut entries = Vec::new();
+    for is in &isites {
+        let roll = rng.gen_range(0u32..100);
+        let name_of = |idx: usize| format!("f{idx}");
+        let targets: Vec<(String, u32)> = if roll < 4 {
+            // Empty distribution: the site never resolves.
+            Vec::new()
+        } else if roll < 8 {
+            // All-zero weights: registered but still never resolves.
+            vec![(name_of(rng.gen_range(0..is.owner)), 0)]
+        } else {
+            let k = rng.gen_range(1..=SKEW.len().min(is.owner));
+            (0..k)
+                .map(|j| (name_of(rng.gen_range(0..is.owner)), SKEW[j]))
+                .collect()
+        };
+        entries.push((is.site, targets));
+    }
+    Case {
+        seed,
+        runs: cfg.runs,
+        module,
+        entry,
+        resolver: ResolverSpec { entries },
+    }
+}
+
+/// A [`proptest`](::proptest) strategy producing the generator's plan lists.
+///
+/// The strategy draws a single `u64` from the property-test RNG and expands
+/// it through [`generate_plans`] — the same code path as the fuzzer.
+#[derive(Debug, Clone, Copy)]
+pub struct PlansStrategy {
+    cfg: GenConfig,
+}
+
+impl Strategy for PlansStrategy {
+    type Value = Vec<FnPlan>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<FnPlan> {
+        let seed = rng.next_u64();
+        generate_plans(seed, &self.cfg)
+    }
+}
+
+/// The plan-list strategy for property tests (see [`PlansStrategy`]).
+pub fn plans(cfg: GenConfig) -> PlansStrategy {
+    PlansStrategy { cfg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_expand_to_identical_modules() {
+        let cfg = GenConfig::default();
+        for seed in [0u64, 1, 7, 1234, u64::MAX] {
+            let a = gen_case(seed, &cfg);
+            let b = gen_case(seed, &cfg);
+            assert_eq!(a.module.to_string(), b.module.to_string());
+            assert_eq!(a.resolver, b.resolver);
+            assert_eq!(a.entry, b.entry);
+        }
+    }
+
+    #[test]
+    fn generated_modules_always_verify() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let case = gen_case(seed, &cfg);
+            case.module
+                .verify()
+                .unwrap_or_else(|e| panic!("seed {seed} generated invalid IR: {e}"));
+        }
+    }
+
+    #[test]
+    fn the_rich_grammar_actually_shows_up() {
+        let cfg = GenConfig::default();
+        let mut switches = 0u32;
+        let mut loops = 0u32;
+        let mut recursion = 0u32;
+        let mut dead = 0u32;
+        let mut attrs = 0u32;
+        let mut empty_dists = 0u32;
+        for seed in 0..100 {
+            let plans = generate_plans(seed, &cfg);
+            switches += plans.iter().filter(|p| p.switch_arms >= 2).count() as u32;
+            loops += plans.iter().filter(|p| p.loop_milli > 0).count() as u32;
+            recursion += plans.iter().filter(|p| p.recurse_milli > 0).count() as u32;
+            dead += plans.iter().filter(|p| p.dead_block).count() as u32;
+            attrs += plans.iter().filter(|p| p.noinline || p.optnone).count() as u32;
+            let case = gen_case(seed, &cfg);
+            empty_dists += case
+                .resolver
+                .entries
+                .iter()
+                .filter(|(_, t)| t.is_empty() || t.iter().all(|(_, w)| *w == 0))
+                .count() as u32;
+        }
+        assert!(switches > 0, "no switches in 100 seeds");
+        assert!(loops > 0, "no loops in 100 seeds");
+        assert!(recursion > 0, "no self-recursion in 100 seeds");
+        assert!(dead > 0, "no dead blocks in 100 seeds");
+        assert!(attrs > 0, "no attribute combos in 100 seeds");
+        assert!(
+            empty_dists > 0,
+            "no empty/zero-weight distributions in 100 seeds"
+        );
+    }
+
+    #[test]
+    fn resolver_targets_stay_strictly_earlier_than_their_owner() {
+        let cfg = GenConfig::default();
+        for seed in 0..100 {
+            let plans = generate_plans(seed, &cfg);
+            let (module, isites, _) = build_module(&plans);
+            let case = gen_case(seed, &cfg);
+            for (site, targets) in &case.resolver.entries {
+                let owner = isites
+                    .iter()
+                    .find(|is| is.site == *site)
+                    .expect("spec sites come from the module")
+                    .owner;
+                for (name, _) in targets {
+                    let f = module.find_function(name).expect("targets exist");
+                    assert!(
+                        f.index() < owner,
+                        "seed {seed}: {name} not earlier than its caller f{owner}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_adapter_draws_through_the_shared_generator() {
+        use proptest::test_runner::TestRng;
+        let cfg = GenConfig::default();
+        let s = plans(cfg);
+        let mut rng_a = TestRng::from_seed_u64(99);
+        let mut rng_b = TestRng::from_seed_u64(99);
+        let a = s.generate(&mut rng_a);
+        let b = s.generate(&mut rng_b);
+        assert_eq!(a, b, "strategy must be deterministic in the test RNG");
+        // And the value really is a generate_plans expansion: replaying the
+        // drawn seed reproduces it.
+        let mut rng_c = TestRng::from_seed_u64(99);
+        let seed = rng_c.next_u64();
+        assert_eq!(a, generate_plans(seed, &cfg));
+    }
+}

@@ -1,0 +1,238 @@
+//! The differential driver: one case, every pipeline stage, first divergence
+//! wins.
+//!
+//! The oracle profiles the baseline module, feeds the profile through the
+//! full PIBE pipeline (`lax` budgets, all defenses, DCE on), snapshots every
+//! committed stage via the pipeline's [`observe_stages`] hook, replays the
+//! *same* seeded workload against each snapshot, and diffs the observable
+//! traces under the strongest projection each stage admits (see
+//! [`Projection`]). The first mismatching event — or a verifier/pipeline
+//! error — is the verdict.
+//!
+//! [`observe_stages`]: pibe::ProfiledImageBuilder::observe_stages
+
+use crate::gen::Case;
+use crate::trace::{project, run_trace, Obs, Projection};
+use pibe::{Image, PibeConfig, SemanticCorruption, Stage};
+use pibe_harden::DefenseSet;
+use pibe_ir::Module;
+use pibe_sim::{SimConfig, Simulator};
+use std::cell::RefCell;
+use std::fmt;
+
+/// A deliberately broken pass: the corruption is applied to the named
+/// stage's output *before* the transactional verifier and the snapshot, via
+/// the pipeline's chaos hook.
+pub type Sabotage = (Stage, SemanticCorruption, u64);
+
+/// Why a case failed the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// The baseline module, a stage snapshot, or the pipeline itself was
+    /// structurally broken (verifier or build error).
+    Build(String),
+    /// Two traces disagreed.
+    Trace {
+        /// The stage whose output diverged from the baseline.
+        stage: Stage,
+        /// The projection under which the traces were compared.
+        projection: Projection,
+        /// Index of the first mismatching event.
+        index: usize,
+        /// The baseline event at that index, if any.
+        expected: Option<Obs>,
+        /// The stage-output event at that index, if any.
+        actual: Option<Obs>,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Build(msg) => write!(f, "build error: {msg}"),
+            Divergence::Trace {
+                stage,
+                projection,
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "trace divergence after {} ({projection:?} projection) at event {index}: \
+                 expected {expected:?}, got {actual:?}",
+                stage.name()
+            ),
+        }
+    }
+}
+
+/// What a passing oracle run observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleReport {
+    /// The stages that were snapshotted and compared, in pipeline order.
+    pub stages: Vec<Stage>,
+    /// Number of observable events in the baseline trace.
+    pub events: usize,
+}
+
+/// The pipeline configuration the oracle exercises: the paper's best
+/// optimization configuration, every defense, and DCE — the widest possible
+/// stage coverage.
+pub fn oracle_config() -> PibeConfig {
+    PibeConfig::lax(DefenseSet::ALL).with_dce(true)
+}
+
+/// Step budget for the profiling runs (mirrors the trace budget).
+const PROFILE_MAX_STEPS: u64 = 1_000_000;
+
+/// Profiles the case's workload and merges in resolver *coverage*: every
+/// positive-weight target is recorded once, so DCE can never strip a
+/// function the resolver might still produce at runtime (exactly like
+/// address-taken information protects functions from `--gc-sections`).
+fn profile_case(case: &Case) -> pibe_profile::Profile {
+    let cfg = SimConfig {
+        collect_profile: true,
+        max_steps: PROFILE_MAX_STEPS,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(
+        &case.module,
+        case.resolver.bind(&case.module),
+        case.seed,
+        cfg,
+    );
+    for _ in 0..case.runs {
+        // Errors (e.g. empty target distributions) still leave a usable
+        // partial profile behind.
+        let _ = sim.call_entry(case.entry);
+    }
+    let mut profile = sim.take_profile();
+    for (site, targets) in &case.resolver.entries {
+        for (name, w) in targets {
+            if *w > 0 {
+                if let Some(f) = case.module.find_function(name) {
+                    profile.record_indirect(*site, f);
+                }
+            }
+        }
+    }
+    profile
+}
+
+fn first_mismatch(expected: &[Obs], actual: &[Obs]) -> Option<usize> {
+    if expected == actual {
+        return None;
+    }
+    let i = expected
+        .iter()
+        .zip(actual.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| expected.len().min(actual.len()));
+    Some(i)
+}
+
+/// Runs the differential oracle on `case`.
+///
+/// With `sabotage: None` this must pass for every healthy case — a failure
+/// is a real semantics-preservation bug in a pipeline stage. With a sabotage
+/// the oracle is expected to *catch* the corruption (the chaos hook produces
+/// valid-but-wrong IR that slips past the structural verifier by design).
+pub fn run_oracle(case: &Case, sabotage: Option<Sabotage>) -> Result<OracleReport, Divergence> {
+    case.module
+        .verify()
+        .map_err(|e| Divergence::Build(format!("baseline module invalid: {e}")))?;
+
+    let profile = profile_case(case);
+
+    let snapshots: RefCell<Vec<(Stage, Module)>> = RefCell::new(Vec::new());
+    let observer = |s: pibe::StageSnapshot<'_>| {
+        snapshots.borrow_mut().push((s.stage, s.module.clone()));
+    };
+    let mut builder = Image::builder(&case.module)
+        .profile(&profile)
+        .config(oracle_config())
+        .observe_stages(&observer);
+    if let Some((stage, fault, seed)) = sabotage {
+        builder = builder.inject_semantic_fault(stage, fault, seed);
+    }
+    builder
+        .build()
+        .map_err(|e| Divergence::Build(format!("pipeline failed: {e}")))?;
+
+    let entry_name = case.module.function(case.entry).name().to_string();
+    let baseline = run_trace(case, &case.module, case.entry);
+
+    let snapshots = snapshots.into_inner();
+    let mut stages = Vec::with_capacity(snapshots.len());
+    for (stage, module) in &snapshots {
+        module
+            .verify()
+            .map_err(|e| Divergence::Build(format!("{} snapshot invalid: {e}", stage.name())))?;
+        let entry = module.find_function(&entry_name).ok_or_else(|| {
+            Divergence::Build(format!("{} stripped entry {entry_name}", stage.name()))
+        })?;
+        // Call/return structure survives promotion verbatim; inlining (and
+        // everything after) preserves only the core observables.
+        let projection = match stage {
+            Stage::Icp => Projection::Full,
+            _ => Projection::Core,
+        };
+        let expected = project(&baseline, projection);
+        let actual = project(&run_trace(case, module, entry), projection);
+        if let Some(index) = first_mismatch(&expected, &actual) {
+            return Err(Divergence::Trace {
+                stage: *stage,
+                projection,
+                index,
+                expected: expected.get(index).cloned(),
+                actual: actual.get(index).cloned(),
+            });
+        }
+        stages.push(*stage);
+    }
+
+    Ok(OracleReport {
+        stages,
+        events: baseline.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_case, GenConfig};
+
+    #[test]
+    fn a_healthy_case_passes_every_stage() {
+        let case = gen_case(5, &GenConfig::default());
+        let report = run_oracle(&case, None).expect("healthy case must pass");
+        assert_eq!(
+            report.stages,
+            vec![Stage::Icp, Stage::Inline, Stage::Dce, Stage::Harden],
+            "the oracle must cover every committed stage"
+        );
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    fn the_oracle_is_deterministic() {
+        let case = gen_case(21, &GenConfig::default());
+        assert_eq!(run_oracle(&case, None), run_oracle(&case, None));
+    }
+
+    #[test]
+    fn an_invalid_baseline_is_rejected_up_front() {
+        let mut case = gen_case(5, &GenConfig::default());
+        case.module = Module::new("empty");
+        let mut b = pibe_ir::FunctionBuilder::new("f0", 0);
+        b.op(pibe_ir::OpKind::Alu);
+        b.jump(pibe_ir::BlockId::ENTRY); // no return path anywhere
+        case.module.add_function(b.build());
+        case.entry = pibe_ir::FuncId::from_raw(0);
+        case.resolver.entries.clear();
+        match run_oracle(&case, None) {
+            Err(Divergence::Build(msg)) => assert!(msg.contains("baseline")),
+            other => panic!("expected a build divergence, got {other:?}"),
+        }
+    }
+}

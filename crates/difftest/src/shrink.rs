@@ -1,0 +1,246 @@
+//! Greedy, deterministic minimization of failing cases.
+//!
+//! The shrinker repeatedly proposes structurally smaller candidates (drop a
+//! function, flatten a branch or switch, delete ops or calls, thin the
+//! resolver, halve the run count) and keeps a candidate iff it still
+//! verifies *and* still fails the oracle the same way the original did
+//! (i.e. [`run_oracle`] still returns an error under the same sabotage).
+//! Passes iterate to a fixed point; everything is ordered, so identical
+//! inputs minimize to identical fixtures.
+
+use crate::gen::Case;
+use crate::oracle::{run_oracle, Sabotage};
+use pibe_ir::{FuncId, Inst, Module, Terminator};
+
+/// What a shrink run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Fixed-point rounds executed.
+    pub rounds: usize,
+    /// Candidates proposed.
+    pub tried: usize,
+    /// Candidates accepted (each strictly smaller than its predecessor).
+    pub accepted: usize,
+}
+
+/// Hard cap on fixed-point rounds; generated cases converge in a handful.
+const MAX_ROUNDS: usize = 32;
+
+/// Rebuilds `case` without function `victim`: calls to it are deleted,
+/// later function ids shift down, and the resolver forgets its name.
+fn without_function(case: &Case, victim: usize) -> Option<Case> {
+    if case.module.len() <= 1 || case.entry.index() == victim {
+        return None;
+    }
+    let victim_name = case
+        .module
+        .function(FuncId::from_raw(victim as u32))
+        .name()
+        .to_string();
+    let remap = |f: FuncId| -> Option<FuncId> {
+        use std::cmp::Ordering::*;
+        match f.index().cmp(&victim) {
+            Less => Some(f),
+            Equal => None,
+            Greater => Some(FuncId::from_raw(f.index() as u32 - 1)),
+        }
+    };
+    let mut m = Module::new(case.module.name().to_string());
+    for f in case.module.functions() {
+        if f.id().index() == victim {
+            continue;
+        }
+        let mut nf = f.clone();
+        for block in nf.blocks_mut() {
+            block.insts.retain_mut(|inst| match inst {
+                Inst::Call { callee, .. } => match remap(*callee) {
+                    Some(c) => {
+                        *callee = c;
+                        true
+                    }
+                    None => false,
+                },
+                _ => true,
+            });
+        }
+        m.add_function(nf);
+    }
+    let mut resolver = case.resolver.clone();
+    for (_, targets) in resolver.entries.iter_mut() {
+        targets.retain(|(name, _)| *name != victim_name);
+    }
+    Some(Case {
+        seed: case.seed,
+        runs: case.runs,
+        module: m,
+        entry: remap(case.entry)?,
+        resolver,
+    })
+}
+
+/// All single-edit candidates, smallest-impact passes last. Ordered and
+/// exhaustive per round, so shrinking is deterministic.
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+
+    // 1. Drop whole functions, highest id first (keeps earlier ids stable).
+    for victim in (0..case.module.len()).rev() {
+        if let Some(c) = without_function(case, victim) {
+            out.push(c);
+        }
+    }
+
+    // 2. Flatten control flow: branch → jump (either arm), switch → jump to
+    //    default.
+    for fid in case.module.func_ids() {
+        for bi in 0..case.module.function(fid).blocks().len() {
+            let term = case.module.function(fid).blocks()[bi].term.clone();
+            let replacements: Vec<Terminator> = match &term {
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => vec![
+                    Terminator::Jump { target: *then_bb },
+                    Terminator::Jump { target: *else_bb },
+                ],
+                Terminator::Switch { default, .. } => {
+                    vec![Terminator::Jump { target: *default }]
+                }
+                _ => vec![],
+            };
+            for r in replacements {
+                let mut c = case.clone();
+                c.module.function_mut(fid).blocks_mut()[bi].term = r;
+                out.push(c);
+            }
+        }
+    }
+
+    // 3. Delete instructions: all plain ops in a block at once, then the
+    //    block's first call.
+    for fid in case.module.func_ids() {
+        for bi in 0..case.module.function(fid).blocks().len() {
+            let block = &case.module.function(fid).blocks()[bi];
+            if block.insts.iter().any(|i| matches!(i, Inst::Op(_))) {
+                let mut c = case.clone();
+                c.module.function_mut(fid).blocks_mut()[bi]
+                    .insts
+                    .retain(|i| !matches!(i, Inst::Op(_)));
+                out.push(c);
+            }
+            if let Some(pos) = block.insts.iter().position(|i| i.is_call()) {
+                let mut c = case.clone();
+                c.module.function_mut(fid).blocks_mut()[bi]
+                    .insts
+                    .remove(pos);
+                out.push(c);
+            }
+        }
+    }
+
+    // 4. Thin the resolver: drop a whole site, or keep only its hottest
+    //    target.
+    for i in 0..case.resolver.entries.len() {
+        let mut c = case.clone();
+        c.resolver.entries.remove(i);
+        out.push(c);
+        if case.resolver.entries[i].1.len() > 1 {
+            let mut c = case.clone();
+            c.resolver.entries[i].1.truncate(1);
+            out.push(c);
+        }
+    }
+
+    // 5. Fewer workload invocations.
+    if case.runs > 1 {
+        let mut c = case.clone();
+        c.runs /= 2;
+        out.push(c);
+    }
+
+    out
+}
+
+fn size_of(case: &Case) -> usize {
+    let mut n = case.module.len() * 16 + case.runs as usize;
+    for f in case.module.functions() {
+        for b in f.blocks() {
+            n += 2 + b.insts.len() * 2;
+            n += match &b.term {
+                Terminator::Jump { .. } | Terminator::Return => 1,
+                Terminator::Branch { .. } => 3,
+                Terminator::Switch { cases, .. } => 3 + cases.len(),
+            };
+        }
+    }
+    n + case
+        .resolver
+        .entries
+        .iter()
+        .map(|(_, t)| 1 + t.len())
+        .sum::<usize>()
+}
+
+/// Minimizes a failing case.
+///
+/// # Panics
+/// Panics if `case` does not actually fail the oracle under `sabotage` —
+/// shrinking a passing case is always a caller bug.
+pub fn shrink(case: &Case, sabotage: Option<Sabotage>) -> (Case, ShrinkStats) {
+    let still_fails = |c: &Case| run_oracle(c, sabotage).is_err();
+    assert!(
+        still_fails(case),
+        "shrink called on a case the oracle accepts"
+    );
+
+    let mut best = case.clone();
+    let mut stats = ShrinkStats::default();
+    for _ in 0..MAX_ROUNDS {
+        stats.rounds += 1;
+        let mut progressed = false;
+        for cand in candidates(&best) {
+            stats.tried += 1;
+            if size_of(&cand) >= size_of(&best) {
+                continue;
+            }
+            if cand.module.verify().is_err() {
+                continue;
+            }
+            if still_fails(&cand) {
+                best = cand;
+                stats.accepted += 1;
+                progressed = true;
+                break; // restart candidate enumeration on the smaller case
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (best, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_case, GenConfig};
+
+    #[test]
+    fn candidates_are_all_strictly_smaller_or_skipped() {
+        let case = gen_case(2, &GenConfig::default());
+        let base = size_of(&case);
+        // Not every candidate is smaller (flattening a branch keeps inst
+        // counts), but dropping a function always is.
+        let smaller = candidates(&case)
+            .into_iter()
+            .filter(|c| size_of(c) < base)
+            .count();
+        assert!(smaller > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle accepts")]
+    fn shrinking_a_passing_case_panics() {
+        let case = gen_case(5, &GenConfig::default());
+        let _ = shrink(&case, None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Corpus replay: every fixture under `tests/corpus/` must pass the oracle.
+//!
+//! Fixtures are minimized reproducers of once-failing (or otherwise
+//! interesting) cases; a red run here means a pipeline stage regressed on a
+//! case that has bitten before. Regenerate the corpus with
+//!
+//! ```text
+//! PIBE_DIFFTEST_EMIT_CORPUS=1 cargo test -p pibe-difftest --test corpus
+//! ```
+
+use pibe::{SemanticCorruption, Stage};
+use pibe_difftest::{fixture, gen_case, run_oracle, shrink, GenConfig, Sabotage};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn every_corpus_fixture_replays_green() {
+    let dir = corpus_dir();
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing corpus dir {}: {e}", dir.display()))
+        .map(|e| e.expect("readable corpus dir").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pibecase"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = fs::read_to_string(&path).expect("readable fixture");
+        let case = fixture::from_text(&text)
+            .unwrap_or_else(|e| panic!("{} is malformed: {e}", path.display()));
+        run_oracle(&case, None).unwrap_or_else(|d| panic!("{} regressed: {d}", path.display()));
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "corpus unexpectedly small: {checked} fixtures"
+    );
+}
+
+/// Rewrites the committed corpus. Gated behind an environment variable so a
+/// plain test run never touches the tree.
+#[test]
+fn regenerate_corpus_when_asked() {
+    if std::env::var("PIBE_DIFFTEST_EMIT_CORPUS").is_err() {
+        return;
+    }
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir).expect("create corpus dir");
+    let cfg = GenConfig::default();
+
+    // 1. The minimized reproducer of the chaos acceptance test: the first
+    //    seed that trips over swapped branch arms at the inline stage.
+    const SABOTAGE: Sabotage = (Stage::Inline, SemanticCorruption::SwapBranchArms, 7);
+    let seed = (0..200)
+        .find(|&s| run_oracle(&gen_case(s, &cfg), Some(SABOTAGE)).is_err())
+        .expect("a seed in 0..200 trips the sabotage");
+    let (small, _) = shrink(&gen_case(seed, &cfg), Some(SABOTAGE));
+    run_oracle(&small, None).expect("minimized reproducer replays green");
+    let note = format!(
+        "minimized from seed {seed}: swap-branch-arms injected after the inline stage\n\
+         caught as a core-trace divergence; replays green without the sabotage"
+    );
+    fs::write(
+        dir.join("shrunk-swap-branch-arms.pibecase"),
+        fixture::to_text(&small, &note),
+    )
+    .expect("write fixture");
+
+    // 2. Representative rich cases straight from the generator: recursion +
+    //    loops, switches, and an empty target distribution respectively.
+    for (seed, tag) in [(5u64, "rich"), (17, "switchy"), (42, "starved")] {
+        let case = gen_case(seed, &cfg);
+        run_oracle(&case, None).expect("corpus seeds are healthy");
+        let note = format!("generated from seed {seed} ({tag}); all stages trace-equivalent");
+        fs::write(
+            dir.join(format!("seed-{seed}-{tag}.pibecase")),
+            fixture::to_text(&case, &note),
+        )
+        .expect("write fixture");
+    }
+}

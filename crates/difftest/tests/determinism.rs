@@ -1,0 +1,90 @@
+//! End-to-end determinism and the chaos acceptance test: a deliberately
+//! broken pass must be caught by the oracle and shrink to a tiny fixture.
+
+use pibe::{SemanticCorruption, Stage};
+use pibe_difftest::{
+    fixture, gen_case, run_oracle, run_trace, shrink, Divergence, GenConfig, Sabotage,
+};
+
+#[test]
+fn identical_seeds_give_identical_modules_traces_and_fixtures() {
+    let cfg = GenConfig::default();
+    for seed in [0u64, 13, 444, 9999] {
+        let a = gen_case(seed, &cfg);
+        let b = gen_case(seed, &cfg);
+        assert_eq!(a.module.to_string(), b.module.to_string());
+        assert_eq!(
+            run_trace(&a, &a.module, a.entry),
+            run_trace(&b, &b.module, b.entry)
+        );
+        assert_eq!(fixture::to_text(&a, ""), fixture::to_text(&b, ""));
+    }
+}
+
+const SABOTAGE: Sabotage = (Stage::Inline, SemanticCorruption::SwapBranchArms, 7);
+
+/// Finds the first seed whose generated case both exercises the sabotage and
+/// diverges under it. Deterministic, so the whole test is.
+fn first_caught_seed() -> u64 {
+    let cfg = GenConfig::default();
+    (0..200)
+        .find(|&seed| run_oracle(&gen_case(seed, &cfg), Some(SABOTAGE)).is_err())
+        .expect("some seed in 0..200 must trip over swapped branch arms")
+}
+
+#[test]
+fn a_sabotaged_pass_is_caught_as_a_trace_divergence_not_a_build_error() {
+    let seed = first_caught_seed();
+    let case = gen_case(seed, &GenConfig::default());
+    match run_oracle(&case, Some(SABOTAGE)) {
+        Err(Divergence::Trace { stage, .. }) => {
+            // The corruption lands on the inline stage's output; the first
+            // stage that can observe it is exactly that one.
+            assert_eq!(
+                stage,
+                Stage::Inline,
+                "divergence must surface at the sabotaged stage"
+            );
+        }
+        other => panic!("expected a trace divergence, got {other:?}"),
+    }
+    // The same module passes clean: the corruption, not the case, is at
+    // fault.
+    run_oracle(&case, None).expect("the case itself is healthy");
+}
+
+#[test]
+fn the_shrinker_minimizes_the_caught_failure_to_a_replayable_fixture() {
+    let seed = first_caught_seed();
+    let cfg = GenConfig::default();
+    let case = gen_case(seed, &cfg);
+
+    let (small, stats) = shrink(&case, Some(SABOTAGE));
+    assert!(stats.accepted > 0, "shrinking must make progress");
+    assert!(
+        small.module.len() <= 3,
+        "minimized case still has {} functions:\n{}",
+        small.module.len(),
+        small.module
+    );
+    assert!(small.module.len() <= case.module.len());
+
+    // Still fails under sabotage, still passes clean: a true minimal
+    // reproducer for the broken pass.
+    assert!(run_oracle(&small, Some(SABOTAGE)).is_err());
+    run_oracle(&small, None).expect("minimized case replays green without the sabotage");
+
+    // Shrinking is deterministic end to end.
+    let (small2, _) = shrink(&case, Some(SABOTAGE));
+    assert_eq!(
+        fixture::to_text(&small, ""),
+        fixture::to_text(&small2, ""),
+        "identical inputs must minimize to identical fixtures"
+    );
+
+    // And the fixture round-trips through the corpus text format.
+    let text = fixture::to_text(&small, "minimized sabotage reproducer");
+    let back = fixture::from_text(&text).expect("fixture parses");
+    assert!(run_oracle(&back, Some(SABOTAGE)).is_err());
+    run_oracle(&back, None).expect("parsed fixture replays green");
+}

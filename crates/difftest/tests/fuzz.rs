@@ -1,0 +1,37 @@
+//! The differential fuzzer: run the oracle over a window of seeds.
+//!
+//! The window is `[PIBE_DIFFTEST_BASE, PIBE_DIFFTEST_BASE +
+//! PIBE_DIFFTEST_SEEDS)`, defaulting to seeds 0..500. CI runs the default
+//! window; a soak run just sets a bigger `PIBE_DIFFTEST_SEEDS` (see
+//! EXPERIMENTS.md, "Running the difftest fuzzer").
+
+use pibe_difftest::{fixture, gen_case, run_oracle, GenConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn every_pipeline_stage_is_trace_equivalent_over_the_seed_window() {
+    let base = env_u64("PIBE_DIFFTEST_BASE", 0);
+    let count = env_u64("PIBE_DIFFTEST_SEEDS", 500);
+    let cfg = GenConfig::default();
+    let mut events = 0usize;
+    for seed in base..base + count {
+        let case = gen_case(seed, &cfg);
+        match run_oracle(&case, None) {
+            Ok(report) => events += report.events,
+            Err(d) => panic!(
+                "seed {seed} diverged: {d}\n\nreplayable fixture:\n{}",
+                fixture::to_text(&case, &format!("diverging seed {seed}: {d}"))
+            ),
+        }
+    }
+    assert!(
+        events > count as usize,
+        "the window produced suspiciously few observable events"
+    );
+}

@@ -48,13 +48,12 @@ impl MapResolver {
 
     /// Sets the weighted target distribution of `site`.
     ///
-    /// # Panics
-    /// Panics if `targets` is empty or all weights are zero.
+    /// An empty list (or one whose weights are all zero) is accepted and
+    /// means the site never resolves: [`resolve`](TargetResolver::resolve)
+    /// returns `None`, which the simulator reports as
+    /// [`SimError::UnknownTarget`]. Fuzzers generate such sites on purpose
+    /// (a function-pointer table a workload never fills in).
     pub fn insert(&mut self, site: SiteId, targets: Vec<(FuncId, u32)>) {
-        assert!(
-            targets.iter().any(|(_, w)| *w > 0),
-            "target distribution for {site} must have positive weight"
-        );
         self.map.insert(site, targets);
     }
 
@@ -68,6 +67,12 @@ impl TargetResolver for MapResolver {
     fn resolve(&mut self, site: SiteId, rng: &mut SmallRng) -> Option<FuncId> {
         let dist = self.map.get(&site)?;
         let total: u64 = dist.iter().map(|(_, w)| u64::from(*w)).sum();
+        if total == 0 {
+            // Empty or all-zero distribution: a defined "never resolves",
+            // with no rng draw (so the random stream stays aligned for
+            // differential runs) and no panic from `gen_range(0..0)`.
+            return None;
+        }
         let mut pick = rng.gen_range(0..total);
         for (f, w) in dist {
             let w = u64::from(*w);
@@ -121,6 +126,47 @@ struct JsSite {
     multi: bool,
 }
 
+/// One observable event of an execution, recorded in program order when
+/// [`SimConfig::collect_trace`] is set.
+///
+/// The event stream is the workspace's *semantic observation*: two modules
+/// are behaviourally equivalent on a workload exactly when they produce the
+/// same stream (modulo the projections differential testing applies — see
+/// `pibe-difftest`). The vocabulary is chosen so that semantics-preserving
+/// transforms keep the *core* events (ops, random-branch outcomes, switch
+/// arms, site resolutions) bit-identical:
+///
+/// * ICP replaces an indirect call's resolver draw with a `ResolveTarget`
+///   draw at the same dynamic position, so [`TraceEvent::Resolved`] events
+///   line up; its guards use `Cond::TargetIs`, which records nothing.
+/// * Inlining splices callee bodies verbatim — only [`TraceEvent::Enter`] /
+///   [`TraceEvent::Return`] pairs disappear.
+/// * Hardening only flips how switches dispatch (`via_table`), not which
+///   arm runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A compute op executed (the side-effecting observables).
+    Op(OpKind),
+    /// Control entered a function through a call (direct or indirect).
+    /// Function *identity* — not id — is the observable: passes renumber.
+    Enter(FuncId),
+    /// An indirect-call site resolved to a runtime target (either at a
+    /// `CallIndirect` or at a promotion chain's `ResolveTarget`).
+    Resolved {
+        /// The resolved site.
+        site: SiteId,
+        /// The target the resolver produced.
+        target: FuncId,
+    },
+    /// A `Cond::Random` branch executed. `Cond::TargetIs` guards are
+    /// deliberately *not* recorded: they only exist in promoted code.
+    BranchTaken(bool),
+    /// A switch dispatched to arm `arm` (`cases.len()` means the default).
+    SwitchArm(u32),
+    /// Control returned out of a function.
+    Return(FuncId),
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -145,6 +191,8 @@ pub struct SimConfig {
     pub rsb_refill: bool,
     /// Collect an execution [`Profile`] (the profiling-phase binary).
     pub collect_profile: bool,
+    /// Record the observable [`TraceEvent`] stream (differential testing).
+    pub collect_trace: bool,
     /// Track the attack surface per executed indirect branch.
     pub track_attacks: bool,
     /// Abort after this many executed instructions (runaway guard).
@@ -162,6 +210,7 @@ impl Default for SimConfig {
             eibrs: false,
             rsb_refill: false,
             collect_profile: false,
+            collect_trace: false,
             track_attacks: false,
             max_steps: 2_000_000_000,
             max_depth: 4096,
@@ -280,6 +329,7 @@ pub struct Simulator<'m, R> {
     cur_stack: u64,
     stats: ExecStats,
     profile: Profile,
+    trace: Vec<TraceEvent>,
     attacks: AttackReport,
     rsb_overflowed: bool,
     js_sites: HashMap<SiteId, JsSite>,
@@ -322,6 +372,7 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
             cur_stack: 0,
             stats: ExecStats::default(),
             profile: Profile::new(),
+            trace: Vec::new(),
             attacks: AttackReport::default(),
             rsb_overflowed: false,
             js_sites: HashMap::new(),
@@ -390,6 +441,21 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
         std::mem::take(&mut self.profile)
     }
 
+    /// Takes the recorded observable-event stream (empty unless
+    /// [`SimConfig::collect_trace`] was set). Events accumulate across
+    /// entry-point invocations; on an erroring invocation the stream keeps
+    /// the events observed up to the failure point.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        if self.cfg.collect_trace {
+            self.trace.push(ev);
+        }
+    }
+
     // ---- internals -------------------------------------------------------
 
     fn push_frame(&mut self, func: FuncId) -> Result<(), SimError> {
@@ -456,6 +522,7 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
         let m = self.cfg.machine;
         match inst {
             Inst::Op(kind) => {
+                self.record(TraceEvent::Op(kind));
                 self.stats.ops += 1;
                 self.stats.cycles += match kind {
                     OpKind::Load => m.cycles_load,
@@ -524,6 +591,7 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
         if target.index() >= self.module.len() {
             return Err(SimError::BadTarget(site, target));
         }
+        self.record(TraceEvent::Resolved { site, target });
         Ok(target)
     }
 
@@ -630,6 +698,7 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
     }
 
     fn do_call(&mut self, callee: FuncId) -> Result<(), SimError> {
+        self.record(TraceEvent::Enter(callee));
         let token = self.next_token; // token assigned inside push_frame
         if self.rsb.push(token) {
             self.rsb_overflowed = true;
@@ -655,7 +724,9 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
                 let taken = match cond {
                     Cond::Random { ptaken_milli } => {
                         self.stats.cycles += m.cycles_branch;
-                        self.rng.gen_range(0..1000) < u32::from(ptaken_milli)
+                        let taken = self.rng.gen_range(0..1000) < u32::from(ptaken_milli);
+                        self.record(TraceEvent::BranchTaken(taken));
+                        taken
                     }
                     Cond::TargetIs { site, target } => {
                         // cmp + predictable jcc: the paper's ~2 cycles/check,
@@ -681,6 +752,7 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
                     Some(i) => (cases[i], i),
                     None => (default, cases.len()),
                 };
+                self.record(TraceEvent::SwitchArm(matched_idx as u32));
                 if via_table {
                     self.stats.ijumps += 1;
                     // Bounds check + indexed indirect jump, BTB-predicted.
@@ -707,6 +779,7 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
                 self.stats.rets += 1;
                 self.stats.cycles += m.cycles_ret;
                 let frame = self.frames.pop().expect("return with empty stack");
+                self.record(TraceEvent::Return(frame.func));
                 self.cur_stack = self.cur_stack.saturating_sub(frame.frame_bytes);
                 if self.cfg.collect_profile {
                     self.profile.record_return(frame.func);
@@ -890,6 +963,66 @@ mod tests {
             sim.call_entry(root).unwrap();
         }
         assert_eq!(sim.stats().icalls, 10);
+    }
+
+    #[test]
+    fn empty_and_zero_weight_distributions_resolve_to_none() {
+        // Pins the satellite fix: a registered-but-empty (or all-zero)
+        // distribution is a defined `None` — surfaced as `UnknownTarget` —
+        // not a `gen_range(0..0)` panic, and it consumes no rng draw.
+        let (m, s, root, leaf) = module();
+        for dist in [vec![], vec![(leaf, 0), (leaf, 0)]] {
+            let mut resolver = MapResolver::new();
+            resolver.insert(s, dist);
+            let mut sim = Simulator::new(&m, resolver, 7, sim_cfg(DefenseSet::NONE));
+            assert_eq!(sim.call_entry(root), Err(SimError::UnknownTarget(s)));
+        }
+        // No draw consumed: the rng stream after the failed resolve matches
+        // the one after an unregistered-site failure (which draws nothing).
+        let trace_of = |resolver: MapResolver| {
+            let cfg = SimConfig {
+                collect_trace: true,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(&m, resolver, 7, cfg);
+            let _ = sim.call_entry(root);
+            sim.take_trace()
+        };
+        let mut zero = MapResolver::new();
+        zero.insert(s, vec![(leaf, 0)]);
+        assert_eq!(trace_of(zero), trace_of(MapResolver::new()));
+    }
+
+    #[test]
+    fn trace_records_observable_events_in_order() {
+        let (m, s, root, leaf) = module();
+        let cfg = SimConfig {
+            collect_trace: true,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&m, FixedResolver(leaf), 7, cfg);
+        sim.call_entry(root).unwrap();
+        let trace = sim.take_trace();
+        assert_eq!(
+            trace,
+            vec![
+                TraceEvent::Enter(leaf), // direct call
+                TraceEvent::Op(OpKind::Alu),
+                TraceEvent::Return(leaf),
+                TraceEvent::Resolved {
+                    site: s,
+                    target: leaf
+                },
+                TraceEvent::Enter(leaf), // indirect call
+                TraceEvent::Op(OpKind::Alu),
+                TraceEvent::Return(leaf),
+                TraceEvent::Return(root),
+            ]
+        );
+        // Disabled by default: no events, no cost.
+        let mut sim = Simulator::new(&m, FixedResolver(leaf), 7, sim_cfg(DefenseSet::NONE));
+        sim.call_entry(root).unwrap();
+        assert!(sim.take_trace().is_empty());
     }
 
     #[test]

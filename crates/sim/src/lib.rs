@@ -61,6 +61,6 @@ pub mod micro;
 pub use attack::AttackReport;
 pub use exec::{
     ExecStats, FixedResolver, JumpSwitchConfig, MapResolver, SimConfig, SimError, Simulator,
-    TargetResolver,
+    TargetResolver, TraceEvent,
 };
 pub use machine::MachineConfig;

@@ -1,8 +1,15 @@
 //! Property-based tests over the whole stack: random programs, random
 //! profiles, and random transformations must uphold the workspace's core
 //! invariants.
+//!
+//! Random programs come from `pibe_difftest::gen` — the *same* seeded
+//! generator the differential fuzzer uses (`crates/difftest`). The
+//! [`pibe_difftest::gen::plans`] strategy adapter draws one seed from the
+//! property-test RNG and expands it through the shared generator, so the
+//! property tests and the fuzzer cover an identical program distribution.
 
-use pibe_ir::{size, Cond, FnAttrs, FuncId, FunctionBuilder, Module, OpKind, SiteId};
+use pibe_difftest::gen::{self, FnPlan, GenConfig, IndirectSite};
+use pibe_ir::{size, FnAttrs, FuncId, FunctionBuilder, Module, OpKind, SiteId};
 use pibe_passes::{
     inline_call_site, promote_indirect_calls, run_inliner, IcpConfig, InlinerConfig, SiteWeights,
 };
@@ -12,106 +19,51 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
-// Random program generation
+// Random program generation (shared with the difftest fuzzer)
 // ---------------------------------------------------------------------------
 
-/// Description of one random function: op count per block, call plan.
-#[derive(Debug, Clone)]
-struct FnPlan {
-    ops: usize,
-    // Indices into previously-generated functions (enforces a DAG).
-    direct_calls: Vec<usize>,
-    has_indirect: bool,
-    branchy: bool,
-}
-
-fn fn_plan() -> impl Strategy<Value = FnPlan> {
-    (
-        1usize..30,
-        vec(0usize..1000, 0..3),
-        proptest::bool::ANY,
-        proptest::bool::ANY,
-    )
-        .prop_map(|(ops, direct_calls, has_indirect, branchy)| FnPlan {
-            ops,
-            direct_calls,
-            has_indirect,
-            branchy,
-        })
-}
-
-/// Builds a valid module (call DAG, every function returns) plus the list
-/// of indirect sites and a root function.
-fn build_module(plans: &[FnPlan]) -> (Module, Vec<SiteId>, FuncId) {
-    let mut m = Module::new("prop");
-    let mut ids: Vec<FuncId> = Vec::new();
-    let mut isites = Vec::new();
-    for (i, plan) in plans.iter().enumerate() {
-        let mut b = FunctionBuilder::new(format!("f{i}"), 1);
-        if plan.branchy && plan.ops >= 2 {
-            let t = b.new_block();
-            let e = b.new_block();
-            let merge = b.new_block();
-            b.ops(OpKind::Alu, plan.ops / 2);
-            b.branch(Cond::Random { ptaken_milli: 400 }, t, e);
-            b.switch_to(t);
-            b.op(OpKind::Load);
-            b.jump(merge);
-            b.switch_to(e);
-            b.op(OpKind::Store);
-            b.jump(merge);
-            b.switch_to(merge);
-            b.ops(OpKind::Alu, plan.ops / 2);
-        } else {
-            b.ops(OpKind::Alu, plan.ops);
-        }
-        // Direct calls to already-created functions only (no recursion).
-        for &c in &plan.direct_calls {
-            if !ids.is_empty() {
-                let callee = ids[c % ids.len()];
-                let s = m.fresh_site();
-                b.call(s, callee, 1);
-            }
-        }
-        if plan.has_indirect && !ids.is_empty() {
-            let s = m.fresh_site();
-            b.call_indirect(s, 1);
-            isites.push(s);
-        }
-        b.ret();
-        ids.push(m.add_function(b.build()));
+fn cfg(min_funcs: usize, max_funcs: usize) -> GenConfig {
+    GenConfig {
+        min_funcs,
+        max_funcs,
+        ..GenConfig::default()
     }
-    let root = *ids.last().expect("at least one function");
-    (m, isites, root)
 }
 
-fn resolver_for(m: &Module, isites: &[SiteId]) -> MapResolver {
+/// Builds the module for a plan list; see [`gen::build_module`].
+fn build_module(plans: &[FnPlan]) -> (Module, Vec<IndirectSite>, FuncId) {
+    gen::build_module(plans)
+}
+
+fn resolver_for(m: &Module, isites: &[IndirectSite]) -> MapResolver {
     let mut r = MapResolver::new();
-    // Every indirect site can target the first two functions (leaf-most).
-    let t0 = FuncId::from_raw(0);
-    let t1 = FuncId::from_raw((m.len() as u32 - 1).min(1));
-    for &s in isites {
-        r.insert(s, vec![(t0, 3), (t1, 1)]);
+    // Every indirect site targets the two leaf-most functions *earlier than
+    // its owner*, keeping the dynamic call graph acyclic.
+    let _ = m;
+    for is in isites {
+        let t0 = FuncId::from_raw(0);
+        let t1 = FuncId::from_raw(((is.owner - 1) as u32).min(1));
+        r.insert(is.site, vec![(t0, 3), (t1, 1)]);
     }
     r
 }
 
-fn profile_of(m: &Module, isites: &[SiteId], root: FuncId, runs: u32) -> Profile {
+fn profile_of(m: &Module, isites: &[IndirectSite], root: FuncId, runs: u32) -> Profile {
     let cfg = SimConfig {
         collect_profile: true,
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(m, resolver_for(m, isites), 7, cfg);
     for _ in 0..runs {
-        sim.call_entry(root).expect("random DAG program runs");
+        sim.call_entry(root).expect("generated program runs");
     }
     sim.take_profile()
 }
 
-fn executed_ops(m: &Module, isites: &[SiteId], root: FuncId, runs: u32) -> u64 {
+fn executed_ops(m: &Module, isites: &[IndirectSite], root: FuncId, runs: u32) -> u64 {
     let mut sim = Simulator::new(m, resolver_for(m, isites), 99, SimConfig::default());
     for _ in 0..runs {
-        sim.call_entry(root).expect("random DAG program runs");
+        sim.call_entry(root).expect("generated program runs");
     }
     sim.stats().ops
 }
@@ -119,9 +71,9 @@ fn executed_ops(m: &Module, isites: &[SiteId], root: FuncId, runs: u32) -> u64 {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Builder-constructed DAG programs always verify.
+    /// Generator-constructed programs always verify.
     #[test]
-    fn random_modules_verify(plans in vec(fn_plan(), 1..20)) {
+    fn random_modules_verify(plans in gen::plans(cfg(1, 20))) {
         let (m, _isites, _root) = build_module(&plans);
         prop_assert!(m.verify().is_ok());
     }
@@ -130,7 +82,7 @@ proptest! {
     /// count of executed compute ops — semantics preservation, on random
     /// programs.
     #[test]
-    fn pipeline_preserves_semantics(plans in vec(fn_plan(), 2..16)) {
+    fn pipeline_preserves_semantics(plans in gen::plans(cfg(2, 16))) {
         let (m, isites, root) = build_module(&plans);
         let profile = profile_of(&m, &isites, root, 20);
         let base_ops = executed_ops(&m, &isites, root, 20);
@@ -154,12 +106,14 @@ proptest! {
         prop_assert_eq!(executed_ops(&opt, &isites, root, 20), base_ops);
     }
 
-    /// Inlining any single existing direct call site keeps the module
-    /// valid, never shrinks the caller, and removes exactly that call.
+    /// Inlining any single existing non-self direct call site keeps the
+    /// module valid, never shrinks the caller, and removes exactly that
+    /// call.
     #[test]
-    fn single_inline_is_sound(plans in vec(fn_plan(), 2..16)) {
+    fn single_inline_is_sound(plans in gen::plans(cfg(2, 16))) {
         let (mut m, _isites, _root) = build_module(&plans);
-        // Find any non-self direct call.
+        // Find any non-self direct call (the generator also emits guarded
+        // self-recursion, which inline_call_site rightly refuses).
         let mut found = None;
         'outer: for f in m.functions() {
             for block in f.blocks() {
@@ -185,7 +139,7 @@ proptest! {
     /// The simulator is deterministic and defense costs are monotone:
     /// adding a defense never makes execution cheaper.
     #[test]
-    fn defenses_monotone_on_random_programs(plans in vec(fn_plan(), 2..12)) {
+    fn defenses_monotone_on_random_programs(plans in gen::plans(cfg(2, 12))) {
         use pibe_harden::DefenseSet;
         let (m, isites, root) = build_module(&plans);
         let cycles = |d: DefenseSet| {
@@ -288,9 +242,10 @@ proptest! {
     }
 
     /// The textual IR round-trips: print → parse → print is a fixpoint and
-    /// reconstructs equal functions.
+    /// reconstructs equal functions — over the rich generator grammar
+    /// (switches, attributes, dead blocks and all).
     #[test]
-    fn text_format_roundtrips(plans in vec(fn_plan(), 1..12)) {
+    fn text_format_roundtrips(plans in gen::plans(cfg(1, 12))) {
         let (m, _isites, _root) = build_module(&plans);
         let text = m.to_string();
         let parsed = pibe_ir::parse_module(&text).expect("printer output parses");

@@ -1,0 +1,105 @@
+//! Behavioural coverage of `pibe::report::Table`'s row APIs: the lenient
+//! `row` (pad/truncate), the strict `try_row` (typed error naming the
+//! table), and a `Display` implementation that tolerates ragged rows poked
+//! in through the public `rows` field.
+
+use pibe::report::{Table, TableError};
+
+fn cells(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn try_row_accepts_exact_width_and_appends() {
+    let mut t = Table::new("Table X: demo", &["config", "cycles", "overhead"]);
+    t.try_row(cells(&["lto", "100", "0.0%"]))
+        .expect("matching width is accepted")
+        .try_row(cells(&["full", "110", "10.0%"]))
+        .expect("chaining works");
+    assert_eq!(t.rows.len(), 2);
+    assert_eq!(t.rows[1], cells(&["full", "110", "10.0%"]));
+}
+
+#[test]
+fn try_row_rejects_short_rows_naming_the_table() {
+    let mut t = Table::new("Table 5: overhead", &["config", "cycles", "overhead"]);
+    let err = t.try_row(cells(&["lto"])).unwrap_err();
+    assert_eq!(
+        err,
+        TableError::RowWidth {
+            table: "Table 5: overhead".into(),
+            expected: 3,
+            got: 1,
+        }
+    );
+    // The message is actionable: it names the destination table and both
+    // widths, so a malformed row deep inside a farm report is traceable.
+    let text = err.to_string();
+    assert!(text.contains("Table 5: overhead"), "{text}");
+    assert!(text.contains('3') && text.contains('1'), "{text}");
+    // The offending row was NOT appended.
+    assert!(t.rows.is_empty());
+}
+
+#[test]
+fn try_row_rejects_long_rows_without_mutating_the_table() {
+    let mut t = Table::new("t", &["a", "b"]);
+    t.try_row(cells(&["1", "2"])).unwrap();
+    let before = t.clone();
+    let err = t.try_row(cells(&["1", "2", "3", "4"])).unwrap_err();
+    assert_eq!(
+        err,
+        TableError::RowWidth {
+            table: "t".into(),
+            expected: 2,
+            got: 4,
+        }
+    );
+    assert_eq!(t, before, "a rejected row must leave the table untouched");
+}
+
+#[test]
+fn row_pads_short_rows_with_empty_cells() {
+    let mut t = Table::new("t", &["a", "b", "c"]);
+    t.row(cells(&["only"]));
+    assert_eq!(
+        t.rows[0],
+        vec!["only".to_string(), String::new(), String::new()]
+    );
+    // Rendering shows the padded row without panicking.
+    let text = t.to_string();
+    assert!(text.contains("only"));
+}
+
+#[test]
+fn row_truncates_long_rows_to_the_header_width() {
+    let mut t = Table::new("t", &["a", "b"]);
+    t.row(cells(&["1", "2", "dropped", "also dropped"]));
+    assert_eq!(t.rows[0], cells(&["1", "2"]));
+    assert!(!t.to_string().contains("dropped"));
+}
+
+#[test]
+fn display_tolerates_ragged_rows_injected_through_the_public_field() {
+    let mut t = Table::new("ragged", &["a", "bb", "ccc"]);
+    t.try_row(cells(&["1", "2", "3"])).unwrap();
+    // `rows` is public: a caller can bypass both row APIs entirely.
+    t.rows.push(cells(&["x"])); // too short
+    t.rows.push(cells(&["p", "q", "r", "EXTRA"])); // too long
+    let text = t.to_string();
+    // Every header and every in-range cell renders; out-of-range cells are
+    // ignored and missing ones render as empty padding.
+    for needle in ["ragged", "a", "bb", "ccc", "1", "x", "p", "q", "r"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    assert!(
+        !text.contains("EXTRA"),
+        "extra cells must be ignored:\n{text}"
+    );
+    // Each rendered line of the body has the same column separators.
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2 + 2 + 3, "title, rule, header, rule, 3 rows");
+    for row_line in &lines[4..] {
+        assert_eq!(row_line.matches(" | ").count(), 2, "{row_line}");
+    }
+}

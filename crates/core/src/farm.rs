@@ -168,10 +168,20 @@ impl ImageFarm {
                 }
                 args
             });
+            // With a multi-build worker pool the pool owns the machine:
+            // each build runs its per-function stages on one thread so a
+            // farm of N workers doesn't fan out into N * threads workers.
+            // A single-worker farm lets the stages use the full default.
+            let stage_threads = if self.threads > 1 {
+                1
+            } else {
+                pibe_ir::par::default_threads()
+            };
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 Image::builder(&self.base)
                     .profile(&self.profile)
                     .config(*config)
+                    .threads(stage_threads)
                     .build()
                     .map(Arc::new)
             }))

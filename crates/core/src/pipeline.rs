@@ -27,7 +27,7 @@ use crate::config::{FailurePolicy, PibeConfig, ValidationPolicy};
 use pibe_harden::{audit, costs, HardenReport, SecurityAudit};
 use pibe_ir::{FuncId, Module, VerifyError};
 use pibe_passes::{
-    promote_indirect_calls, run_inliner, strip_unreachable, DceMap, DceStats, IcpStats,
+    promote_indirect_calls, run_inliner, strip_unreachable_threaded, DceMap, DceStats, IcpStats,
     InlinerStats, SiteWeights,
 };
 use pibe_profile::{Profile, ProfileIssue, ProfileRepair};
@@ -307,6 +307,7 @@ impl<'m> ImageBuilder<'m> {
             base: self.base,
             profile,
             config: PibeConfig::lto(),
+            threads: pibe_ir::par::default_threads(),
             sabotage: None,
             semantic_sabotage: None,
             observer: None,
@@ -337,6 +338,7 @@ pub struct ProfiledImageBuilder<'m, 'p> {
     base: &'m Module,
     profile: &'p Profile,
     config: PibeConfig,
+    threads: usize,
     sabotage: Option<(Stage, ModuleCorruption, u64)>,
     semantic_sabotage: Option<(Stage, SemanticCorruption, u64)>,
     observer: Option<&'m dyn Fn(StageSnapshot<'_>)>,
@@ -347,6 +349,7 @@ impl fmt::Debug for ProfiledImageBuilder<'_, '_> {
         f.debug_struct("ProfiledImageBuilder")
             .field("base", &self.base.name())
             .field("config", &self.config)
+            .field("threads", &self.threads)
             .field("sabotage", &self.sabotage)
             .field("semantic_sabotage", &self.semantic_sabotage)
             .field("observer", &self.observer.is_some())
@@ -358,6 +361,21 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
     /// Selects the build configuration.
     pub fn config(mut self, config: PibeConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Overrides the number of worker threads the per-function stages
+    /// (harden, DCE edge scanning, verification) fan across. Defaults to
+    /// `PIBE_BUILD_THREADS` when set, else the machine's available
+    /// parallelism. Outputs are bit-identical under any thread count; the
+    /// farm pins its builds to one thread each so the pool, not the
+    /// stages, owns the machine.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "a build needs at least one thread");
+        self.threads = threads;
         self
     }
 
@@ -441,6 +459,7 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
     ///   failed structural verification.
     pub fn build(self) -> Result<Image, PipelineError> {
         let config = self.config;
+        let threads = self.threads;
         let build_start = Instant::now();
         let mut metrics = BuildMetrics::default();
         let mut faults = FaultLog::default();
@@ -499,7 +518,9 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         if guarded {
             let stage = Instant::now();
             let _trace_span = pibe_trace::span("stage.verify");
-            module.verify().map_err(PipelineError::InvalidModule)?;
+            module
+                .verify_threaded(threads)
+                .map_err(PipelineError::InvalidModule)?;
             metrics.verify_ns += stage.elapsed().as_nanos() as u64;
         }
 
@@ -512,18 +533,22 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         let mut icp_stats = None;
         if let Some(icp) = config.icp.as_ref() {
             if guarded {
+                // CoW: the snapshot is O(#functions) pointer bumps, and the
+                // weights roll back through their delta journal instead of a
+                // table copy.
                 let module_snapshot = module.clone();
-                let weights_snapshot = weights.clone();
+                weights.begin_undo();
                 let stats = promote_indirect_calls(&mut module, &mut weights, profile, icp);
                 self.sabotage(Stage::Icp, &mut module);
-                match module.verify() {
+                match module.verify_threaded(threads) {
                     Ok(()) => {
                         icp_stats = Some(stats);
+                        weights.commit_undo();
                         self.notify(Stage::Icp, &module, None);
                     }
                     Err(error) => {
                         module = module_snapshot;
-                        weights = weights_snapshot;
+                        weights.rollback_undo();
                         metrics.rollbacks += 1;
                         pibe_trace::event_args("stage.rollback", || {
                             vec![
@@ -563,7 +588,7 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
                 let module_snapshot = module.clone();
                 let stats = run_inliner(&mut module, &weights, profile, inl);
                 self.sabotage(Stage::Inline, &mut module);
-                match module.verify() {
+                match module.verify_threaded(threads) {
                     Ok(()) => {
                         inline_stats = Some(stats);
                         self.notify(Stage::Inline, &module, None);
@@ -610,10 +635,11 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         let mut dce_map = None;
         if config.dce {
             let (roots, taken) = dce_roots(&module, profile);
-            let (mut stripped, map, stats) = strip_unreachable(&module, &roots, &taken);
+            let (mut stripped, map, stats) =
+                strip_unreachable_threaded(&module, &roots, &taken, threads);
             self.sabotage(Stage::Dce, &mut stripped);
             let commit = if guarded {
-                match stripped.verify() {
+                match stripped.verify_threaded(threads) {
                     Ok(()) => true,
                     Err(error) => {
                         metrics.rollbacks += 1;
@@ -654,9 +680,9 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         let trace_span = pibe_trace::span("stage.harden");
         let harden_report;
         if guarded {
-            let report = pibe_harden::apply(&mut module, config.defenses);
+            let report = pibe_harden::apply_threaded(&mut module, config.defenses, threads);
             self.sabotage(Stage::Harden, &mut module);
-            match module.verify() {
+            match module.verify_threaded(threads) {
                 Ok(()) => harden_report = report,
                 Err(error) => {
                     return Err(PipelineError::StageFailed {
@@ -666,7 +692,7 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
                 }
             }
         } else {
-            harden_report = pibe_harden::apply(&mut module, config.defenses);
+            harden_report = pibe_harden::apply_threaded(&mut module, config.defenses, threads);
             self.sabotage(Stage::Harden, &mut module);
         }
         self.notify(Stage::Harden, &module, dce_map.as_ref());
@@ -689,7 +715,9 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         // pipeline unverified.
         let stage = Instant::now();
         let trace_span = pibe_trace::span("stage.verify");
-        module.verify().map_err(PipelineError::InvalidModule)?;
+        module
+            .verify_threaded(threads)
+            .map_err(PipelineError::InvalidModule)?;
         metrics.verify_ns += stage.elapsed().as_nanos() as u64;
         drop(trace_span);
 

@@ -3,7 +3,7 @@
 //! A fixture is a small text file: comment lines, a handful of
 //! `key: value` headers, then the module in the workspace's textual IR
 //! (exactly what `Module`'s `Display` prints and
-//! [`parse_module`](pibe_ir::parse_module) reads back losslessly):
+//! [`parse_module`](pibe_ir::parse_module()) reads back losslessly):
 //!
 //! ```text
 //! # minimized from seed 42 by swap-branch-arms@inline

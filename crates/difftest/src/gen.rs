@@ -5,7 +5,7 @@
 //!
 //! * [`generate_plans`]`(seed, &cfg)` — the fuzzer's entry point: a seed
 //!   deterministically expands to a list of [`FnPlan`]s;
-//! * [`plans`]`(cfg)` — a [`proptest`](::proptest) [`Strategy`] adapter that
+//! * [`plans`]`(cfg)` — a `proptest` [`Strategy`] adapter that
 //!   draws one `u64` from the property-test RNG and delegates to the *same*
 //!   `generate_plans`. The property tests and the fuzzer therefore exercise
 //!   exactly the same program distribution — there is no second generator to
@@ -358,7 +358,7 @@ pub fn gen_case(seed: u64, cfg: &GenConfig) -> Case {
     }
 }
 
-/// A [`proptest`](::proptest) strategy producing the generator's plan lists.
+/// A `proptest` strategy producing the generator's plan lists.
 ///
 /// The strategy draws a single `u64` from the property-test RNG and expands
 /// it through [`generate_plans`] — the same code path as the fuzzer.

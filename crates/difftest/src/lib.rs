@@ -19,7 +19,7 @@
 //!    indirect targets, call/return structure, and per-invocation outcomes;
 //! 3. **diffs** the baseline trace against each committed pipeline stage's
 //!    output ([`oracle`]), failing on the first mismatching event;
-//! 4. **shrinks** failures to minimal replayable fixtures ([`shrink`],
+//! 4. **shrinks** failures to minimal replayable fixtures ([`mod@shrink`],
 //!    [`fixture`]) stored in the repository's `tests/corpus/`.
 //!
 //! Everything is deterministic: same seed, same module, same traces, same
@@ -41,6 +41,6 @@ pub use fixture::{from_text, to_text, FixtureError};
 pub use gen::{
     build_module, gen_case, generate_plans, plans, Case, FnPlan, GenConfig, ResolverSpec,
 };
-pub use oracle::{oracle_config, run_oracle, Divergence, OracleReport, Sabotage};
+pub use oracle::{oracle_config, profile_case, run_oracle, Divergence, OracleReport, Sabotage};
 pub use shrink::{shrink, ShrinkStats};
 pub use trace::{project, run_trace, Obs, Outcome, Projection};

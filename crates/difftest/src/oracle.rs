@@ -89,7 +89,10 @@ const PROFILE_MAX_STEPS: u64 = 1_000_000;
 /// positive-weight target is recorded once, so DCE can never strip a
 /// function the resolver might still produce at runtime (exactly like
 /// address-taken information protects functions from `--gc-sections`).
-fn profile_case(case: &Case) -> pibe_profile::Profile {
+///
+/// Public so external bit-identity suites can rebuild a fixture's image
+/// through exactly the profile the oracle would use.
+pub fn profile_case(case: &Case) -> pibe_profile::Profile {
     let cfg = SimConfig {
         collect_profile: true,
         max_steps: PROFILE_MAX_STEPS,

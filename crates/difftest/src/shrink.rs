@@ -10,7 +10,7 @@
 
 use crate::gen::Case;
 use crate::oracle::{run_oracle, Sabotage};
-use pibe_ir::{FuncId, Inst, Module, Terminator};
+use pibe_ir::{FuncId, Function, Inst, Module, Terminator};
 
 /// What a shrink run did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,7 +50,7 @@ fn without_function(case: &Case, victim: usize) -> Option<Case> {
         if f.id().index() == victim {
             continue;
         }
-        let mut nf = f.clone();
+        let mut nf = Function::clone(f);
         for block in nf.blocks_mut() {
             block.insts.retain_mut(|inst| match inst {
                 Inst::Call { callee, .. } => match remap(*callee) {

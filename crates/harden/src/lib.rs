@@ -59,4 +59,4 @@ mod transform;
 
 pub use audit::{audit, SecurityAudit};
 pub use defense::DefenseSet;
-pub use transform::{apply, HardenReport};
+pub use transform::{apply, apply_threaded, HardenReport};

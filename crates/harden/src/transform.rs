@@ -31,6 +31,17 @@ pub struct HardenReport {
 /// simulator from [`crate::costs`]; there is no need to rewrite every call
 /// and return site in the IR.
 pub fn apply(module: &mut Module, defenses: DefenseSet) -> HardenReport {
+    apply_threaded(module, defenses, 1)
+}
+
+/// Like [`apply`], fanning the per-function rewrites across up to `threads`
+/// workers.
+///
+/// Every function is an independent unit of work, so workers read shared
+/// [`std::sync::Arc`] handles, rewrite privately, and the merge installs
+/// results **in function-id order** — the report counts and the resulting
+/// module are bit-identical to the sequential path under any thread count.
+pub fn apply_threaded(module: &mut Module, defenses: DefenseSet, threads: usize) -> HardenReport {
     let mut report = HardenReport {
         defenses,
         ..HardenReport::default()
@@ -38,22 +49,64 @@ pub fn apply(module: &mut Module, defenses: DefenseSet) -> HardenReport {
     if !defenses.disables_jump_tables() {
         return report;
     }
-    for id in module.func_ids().collect::<Vec<_>>() {
-        let untouchable = module.function(id).attrs().inline_asm;
-        for block in module.function_mut(id).blocks_mut() {
-            if let Terminator::Switch { via_table, .. } = &mut block.term {
-                if *via_table {
-                    if untouchable {
-                        report.jump_tables_kept += 1;
-                    } else {
-                        *via_table = false;
-                        report.jump_tables_disabled += 1;
-                    }
-                }
+    if threads <= 1 {
+        for id in module.func_ids().collect::<Vec<_>>() {
+            let (rewritten, disabled, kept) = harden_function(module.function_arc(id));
+            if let Some(f) = rewritten {
+                module.set_function_arc(id, f);
             }
+            report.jump_tables_disabled += disabled;
+            report.jump_tables_kept += kept;
         }
+        return report;
+    }
+    let shared = &*module;
+    let results = pibe_ir::par::map_indexed(shared.len(), threads, |i| {
+        harden_function(&shared.functions()[i])
+    });
+    for (i, (rewritten, disabled, kept)) in results.into_iter().enumerate() {
+        if let Some(f) = rewritten {
+            module.set_function_arc(pibe_ir::FuncId::from_raw(i as u32), f);
+        }
+        report.jump_tables_disabled += disabled;
+        report.jump_tables_kept += kept;
     }
     report
+}
+
+/// Hardens one function, returning its replacement (if it changed) and the
+/// `(disabled, kept)` jump-table counts. Reads first and only copies when a
+/// re-lowerable table switch is actually present, so untouched functions
+/// stay copy-on-write-shared with the pipeline's stage snapshots.
+fn harden_function(
+    f: &std::sync::Arc<pibe_ir::Function>,
+) -> (Option<std::sync::Arc<pibe_ir::Function>>, u64, u64) {
+    let tables = f
+        .blocks()
+        .iter()
+        .filter(|b| {
+            matches!(
+                b.term,
+                Terminator::Switch {
+                    via_table: true,
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    if tables == 0 {
+        return (None, 0, 0);
+    }
+    if f.attrs().inline_asm {
+        return (None, 0, tables);
+    }
+    let mut nf = pibe_ir::Function::clone(f);
+    for block in nf.blocks_mut() {
+        if let Terminator::Switch { via_table, .. } = &mut block.term {
+            *via_table = false;
+        }
+    }
+    (Some(std::sync::Arc::new(nf)), tables, 0)
 }
 
 #[cfg(test)]
@@ -101,6 +154,38 @@ mod tests {
         assert_eq!(r.jump_tables_kept, 1);
         assert_eq!(m.census().indirect_jumps, 1);
         m.verify().unwrap();
+    }
+
+    #[test]
+    fn threaded_apply_is_bit_identical_to_sequential() {
+        let reference = {
+            let mut m = module_with_switches();
+            let r = apply(&mut m, DefenseSet::RETPOLINES);
+            (m, r)
+        };
+        for threads in [2, 4] {
+            let mut m = module_with_switches();
+            let r = apply_threaded(&mut m, DefenseSet::RETPOLINES, threads);
+            assert_eq!(r, reference.1, "threads={threads}");
+            assert_eq!(m.functions(), reference.0.functions(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn untouched_functions_stay_cow_shared() {
+        let base = module_with_switches();
+        let mut m = base.clone();
+        apply(&mut m, DefenseSet::RETPOLINES);
+        let normal = base.find_function("normal").unwrap();
+        let paravirt = base.find_function("paravirt").unwrap();
+        assert!(
+            !std::sync::Arc::ptr_eq(m.function_arc(normal), base.function_arc(normal)),
+            "rewritten function got a private copy"
+        );
+        assert!(
+            std::sync::Arc::ptr_eq(m.function_arc(paravirt), base.function_arc(paravirt)),
+            "inline-asm function untouched, still shared"
+        );
     }
 
     #[test]

@@ -26,8 +26,12 @@ pub struct CallGraphEdge {
 /// LLVM-style inliner baseline).
 #[derive(Debug, Clone)]
 pub struct CallGraph {
-    edges: Vec<CallGraphEdge>,
+    /// Per-caller callee lists; `sites` is the parallel per-caller site
+    /// list, so the pair at one index forms an edge. Per-caller storage
+    /// keeps [`CallGraph::record_inline`] proportional to the caller's
+    /// degree instead of the whole edge set.
     callees: Vec<Vec<FuncId>>,
+    sites: Vec<Vec<SiteId>>,
     recursive: Vec<bool>,
 }
 
@@ -35,33 +39,39 @@ impl CallGraph {
     /// Builds the call graph of `module`.
     pub fn build(module: &Module) -> Self {
         let n = module.len();
-        let mut edges = Vec::new();
         let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut sites: Vec<Vec<SiteId>> = vec![Vec::new(); n];
         for f in module.functions() {
             for block in f.blocks() {
                 for inst in &block.insts {
                     if let Inst::Call { site, callee, .. } = inst {
-                        edges.push(CallGraphEdge {
-                            caller: f.id(),
-                            callee: *callee,
-                            site: *site,
-                        });
                         callees[f.id().index()].push(*callee);
+                        sites[f.id().index()].push(*site);
                     }
                 }
             }
         }
         let recursive = find_recursive(n, &callees);
         CallGraph {
-            edges,
             callees,
+            sites,
             recursive,
         }
     }
 
-    /// All static direct-call edges.
-    pub fn edges(&self) -> &[CallGraphEdge] {
-        &self.edges
+    /// All static direct-call edges, flattened caller-by-caller.
+    pub fn edges(&self) -> impl Iterator<Item = CallGraphEdge> + '_ {
+        self.callees
+            .iter()
+            .zip(&self.sites)
+            .enumerate()
+            .flat_map(|(i, (cs, ss))| {
+                cs.iter().zip(ss).map(move |(c, s)| CallGraphEdge {
+                    caller: FuncId::from_raw(i as u32),
+                    callee: *c,
+                    site: *s,
+                })
+            })
     }
 
     /// Direct callees of `f` (with multiplicity).
@@ -73,6 +83,44 @@ impl CallGraph {
     /// recursive). Such functions are never inlining candidates (§5.2).
     pub fn is_recursive(&self, f: FuncId) -> bool {
         self.recursive[f.index()]
+    }
+
+    /// Updates the graph for one performed inline of `callee` into
+    /// `caller` through `site`: that edge disappears (the call was elided)
+    /// and the callee's direct sites copied into the caller — `copied`,
+    /// the `(site, callee)` pairs [`InlinedCall`] reports — become new
+    /// caller edges. O(caller degree + copied), no module re-walk.
+    ///
+    /// The recursion analysis is deliberately *not* recomputed, because it
+    /// cannot change: every added edge `caller → g` is a shortcut of the
+    /// existing path `caller → callee → g`, so it creates no cycle that
+    /// was not already there, and the removed edge never participated in a
+    /// cycle (recursive callees are never inlined — a caller in a cycle
+    /// through `callee` would make `callee` recursive). Edge *set*
+    /// equality with a rebuilt graph is guaranteed; the per-caller order
+    /// of edges may differ from block order in the transformed module.
+    ///
+    /// [`InlinedCall`]: ../pibe_passes/struct.InlinedCall.html
+    pub fn record_inline(
+        &mut self,
+        caller: FuncId,
+        callee: FuncId,
+        site: SiteId,
+        copied: &[(SiteId, FuncId)],
+    ) {
+        let i = caller.index();
+        if let Some(p) = self.sites[i]
+            .iter()
+            .zip(&self.callees[i])
+            .position(|(s, c)| *s == site && *c == callee)
+        {
+            self.sites[i].remove(p);
+            self.callees[i].remove(p);
+        }
+        for (s, c) in copied {
+            self.sites[i].push(*s);
+            self.callees[i].push(*c);
+        }
     }
 
     /// Bottom-up (reverse-topological, callees-before-callers) traversal
@@ -272,7 +320,42 @@ mod tests {
     fn edges_record_sites() {
         let (m, _) = cyclic_module();
         let g = CallGraph::build(&m);
-        assert_eq!(g.edges().len(), 6);
-        assert!(g.edges().iter().all(|e| e.caller != FuncId::from_raw(99)));
+        assert_eq!(g.edges().count(), 6);
+        assert!(g.edges().all(|e| e.caller != FuncId::from_raw(99)));
+    }
+
+    #[test]
+    fn record_inline_matches_a_rebuilt_graph() {
+        // root --s0--> mid --s1--> leaf: inline mid into root; the s0 edge
+        // disappears and root gains a copied s1 edge to leaf.
+        let mut m = Module::new("m");
+        let mk = |m: &mut Module, name: &str, calls: Vec<(SiteId, FuncId)>| {
+            let mut b = FunctionBuilder::new(name, 0);
+            b.op(OpKind::Alu);
+            for (s, c) in calls {
+                b.call(s, c, 0);
+            }
+            b.ret();
+            m.add_function(b.build())
+        };
+        let leaf = mk(&mut m, "leaf", vec![]);
+        let s1 = m.fresh_site();
+        let mid = mk(&mut m, "mid", vec![(s1, leaf)]);
+        let s0 = m.fresh_site();
+        let root = mk(&mut m, "root", vec![(s0, mid)]);
+
+        let mut g = CallGraph::build(&m);
+        g.record_inline(root, mid, s0, &[(s1, leaf)]);
+
+        assert_eq!(g.callees(root), &[leaf]);
+        assert_eq!(g.callees(mid), &[leaf], "the callee itself is untouched");
+        let mut got: Vec<_> = g.edges().map(|e| (e.caller, e.site, e.callee)).collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![(mid, s1, leaf), (root, s1, leaf)],
+            "edge set matches what rebuilding after the transform would give"
+        );
+        assert!(m.func_ids().all(|f| !g.is_recursive(f)));
     }
 }

@@ -56,6 +56,7 @@ mod func;
 mod ids;
 mod inst;
 mod module;
+pub mod par;
 mod print;
 pub mod size;
 pub mod text;

@@ -5,14 +5,25 @@ use crate::ids::{FuncId, SiteId};
 use crate::inst::{Inst, Terminator};
 use crate::verify::{self, VerifyError};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A whole program: the analogue of the paper's LTO-linked kernel bitcode.
 ///
 /// All of PIBE's passes are interprocedural and operate on a `Module`.
+///
+/// Functions are stored behind [`Arc`]s, making the module **copy-on-write**:
+/// `Module::clone` is O(#functions) pointer bumps with full structural
+/// sharing, and only [`Module::function_mut`] (via [`Arc::make_mut`])
+/// materialises a private copy of the one function actually written. This is
+/// what makes the pipeline's transactional stage snapshots, rollback, and the
+/// farm's per-build base clones proportional to *hot work* instead of module
+/// size. Passes must therefore check read-only whether a function needs
+/// changing before calling `function_mut` — an unconditional write walk
+/// would degrade CoW back into a deep copy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Module {
     name: String,
-    functions: Vec<Function>,
+    functions: Vec<Arc<Function>>,
     next_site: u64,
 }
 
@@ -35,6 +46,21 @@ impl Module {
     pub fn add_function(&mut self, mut f: Function) -> FuncId {
         let id = FuncId::from_raw(self.functions.len() as u32);
         f.id = id;
+        self.functions.push(Arc::new(f));
+        id
+    }
+
+    /// Adds an already-shared function, assigning and returning its id.
+    ///
+    /// When `f.id()` already equals the assigned id the `Arc` is pushed
+    /// as-is (no copy — the DCE sweep keeps every untouched survivor
+    /// shared with the input module this way); otherwise the function is
+    /// copied once to fix its id.
+    pub fn add_function_arc(&mut self, mut f: Arc<Function>) -> FuncId {
+        let id = FuncId::from_raw(self.functions.len() as u32);
+        if f.id != id {
+            Arc::make_mut(&mut f).id = id;
+        }
         self.functions.push(f);
         id
     }
@@ -47,7 +73,7 @@ impl Module {
     /// Panics if `id` is out of range.
     pub fn replace_function(&mut self, id: FuncId, mut f: Function) {
         f.id = id;
-        self.functions[id.index()] = f;
+        self.functions[id.index()] = Arc::new(f);
     }
 
     /// The raw value the next [`Module::fresh_site`] call would return
@@ -73,15 +99,43 @@ impl Module {
 
     /// Mutable access to a function.
     ///
+    /// Copy-on-write: when the function is shared with a snapshot (a cloned
+    /// module), the first mutable access copies it; later accesses are free.
+    /// Check read-only state first and call this only for functions that
+    /// actually change.
+    ///
     /// # Panics
     /// Panics if `id` is out of range.
     pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
-        &mut self.functions[id.index()]
+        Arc::make_mut(&mut self.functions[id.index()])
     }
 
-    /// All functions in id order.
-    pub fn functions(&self) -> &[Function] {
+    /// All functions in id order, behind their sharing handles.
+    ///
+    /// Iterating yields `&Arc<Function>`, which auto-derefs to
+    /// [`Function`] for method calls; use [`Arc::ptr_eq`] on two modules'
+    /// entries to observe structural sharing.
+    pub fn functions(&self) -> &[Arc<Function>] {
         &self.functions
+    }
+
+    /// The sharing handle of one function (cheap to clone; parallel stages
+    /// hand these to worker threads).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn function_arc(&self, id: FuncId) -> &Arc<Function> {
+        &self.functions[id.index()]
+    }
+
+    /// Installs a (typically worker-produced) function at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range or `f`'s id does not match `id` —
+    /// deterministic parallel merges are keyed by function id.
+    pub fn set_function_arc(&mut self, id: FuncId, f: Arc<Function>) {
+        assert_eq!(f.id, id, "merged function must keep its id");
+        self.functions[id.index()] = f;
     }
 
     /// Iterates over function ids.
@@ -112,6 +166,14 @@ impl Module {
         verify::verify(self)
     }
 
+    /// Like [`Module::verify`], fanning the independent per-function checks
+    /// across up to `threads` workers. On failure the reported error is the
+    /// one the sequential walk would find first (lowest offending function
+    /// id), so diagnostics are identical under any thread count.
+    pub fn verify_threaded(&self, threads: usize) -> Result<(), VerifyError> {
+        verify::verify_with_threads(self, threads)
+    }
+
     /// Counts the static branch population of the module — the denominators
     /// of the paper's Tables 10 and 11.
     pub fn census(&self) -> BranchCensus {
@@ -137,7 +199,10 @@ impl Module {
 
     /// Total code size in model bytes (the paper's "img size" numerator).
     pub fn code_bytes(&self) -> u64 {
-        self.functions.iter().map(crate::size::function_bytes).sum()
+        self.functions
+            .iter()
+            .map(|f| crate::size::function_bytes(f))
+            .sum()
     }
 }
 

@@ -1,0 +1,115 @@
+//! Deterministic fan-out of per-item work across a scoped thread pool.
+//!
+//! The pattern is the one proven in the build farm: an atomic next-index
+//! counter hands items to workers on demand (so an expensive function does
+//! not serialize behind a static partition), each worker tags its results
+//! with the item index, and the merge reassembles them **in index order**.
+//! Scheduling therefore never leaks into outputs: `map_indexed(n, k, f)`
+//! returns exactly what `(0..n).map(f).collect()` would, for any `k`.
+//!
+//! Per-function pipeline stages (harden, DCE edge scanning, verification)
+//! fan out through this module; the determinism rule that makes that safe
+//! is documented in `DESIGN.md` ("parallel stages merge by function id").
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count implied by the environment: the `PIBE_BUILD_THREADS`
+/// variable when set to a positive integer, otherwise the machine's
+/// available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PIBE_BUILD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every index in `0..n` on up to `threads` workers and
+/// returns the results in index order.
+///
+/// The output is bit-identical to the sequential
+/// `(0..n).map(f).collect::<Vec<_>>()` regardless of thread count or
+/// scheduling; `threads <= 1` (or tiny `n`) short-circuits to exactly that
+/// expression, so single-threaded callers pay no pool overhead.
+///
+/// # Panics
+/// Propagates a panic from `f`.
+pub fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let next = &next;
+    let f = &f;
+    let parts: Vec<Vec<(usize, T)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    })
+    .expect("par scope");
+
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (i, v) in parts.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index produced twice");
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let got = map_indexed(100, threads, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_items_is_fine() {
+        let got: Vec<u8> = map_indexed(0, 4, |_| unreachable!());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let got = map_indexed(3, 16, |i| i + 1);
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

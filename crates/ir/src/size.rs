@@ -59,6 +59,21 @@ pub fn function_cost(f: &Function) -> u32 {
         .sum()
 }
 
+/// Exact change in a caller's [`function_cost`] from inlining a direct
+/// call that passed `call_args` arguments to a callee of cost
+/// `callee_cost`.
+///
+/// The splice adds the callee's whole body (its `Return` terminators
+/// become `Jump`s — same cost), removes the call instruction
+/// (`5 + 5 * call_args`), and adds one `Jump` where the calling block was
+/// split, so the net change is `callee_cost - 5 * call_args` — negative
+/// when a tiny callee is reached through a long argument list. The
+/// inliner's incremental caller-cost cache applies this delta instead of
+/// re-walking the merged body.
+pub fn inline_cost_delta(callee_cost: u32, call_args: u8) -> i64 {
+    i64::from(callee_cost) - i64::from(STANDARD_INST_COST) * i64::from(call_args)
+}
+
 /// Model machine-code bytes of one instruction.
 pub fn inst_bytes(inst: &Inst) -> u32 {
     match inst {

@@ -80,8 +80,34 @@ impl std::error::Error for VerifyError {}
 
 /// Checks all structural invariants of `module`.
 pub fn verify(module: &Module) -> Result<(), VerifyError> {
+    verify_with_threads(module, 1)
+}
+
+/// Checks all structural invariants of `module`, fanning the per-function
+/// checks across up to `threads` workers.
+///
+/// Functions are verified independently, so the fan-out is safe; on
+/// failure the error reported is the one the sequential walk would have
+/// found first (the lowest-id offending function), keeping diagnostics
+/// deterministic under any thread count.
+pub fn verify_with_threads(module: &Module, threads: usize) -> Result<(), VerifyError> {
     let nfuncs = module.len() as u32;
-    for f in module.functions() {
+    if threads <= 1 {
+        for f in module.functions() {
+            verify_function(f, nfuncs)?;
+        }
+        return Ok(());
+    }
+    crate::par::map_indexed(module.len(), threads, |i| {
+        verify_function(&module.functions()[i], nfuncs)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Checks one function's invariants against a module of `nfuncs` functions.
+fn verify_function(f: &crate::func::Function, nfuncs: u32) -> Result<(), VerifyError> {
+    {
         let fid = f.id();
         let nblocks = f.blocks().len() as u32;
         if nblocks == 0 {
@@ -158,6 +184,59 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::OpKind;
+    use crate::SiteId;
+
+    /// `k` valid leaves, then broken functions at ids `k` and `k+1`.
+    fn module_with_two_bad(k: usize) -> Module {
+        let mut m = Module::new("m");
+        for i in 0..k {
+            let mut b = FunctionBuilder::new(format!("leaf{i}"), 0);
+            b.op(OpKind::Alu);
+            b.ret();
+            m.add_function(b.build());
+        }
+        for i in 0..2 {
+            let mut b = FunctionBuilder::new(format!("bad{i}"), 0);
+            b.call(SiteId::from_raw(i), FuncId::from_raw(999), 0);
+            b.ret();
+            m.add_function(b.build());
+        }
+        m
+    }
+
+    #[test]
+    fn threaded_verify_matches_sequential_on_ok_modules() {
+        let mut m = Module::new("m");
+        for i in 0..64 {
+            let mut b = FunctionBuilder::new(format!("f{i}"), 0);
+            b.op(OpKind::Alu);
+            b.ret();
+            m.add_function(b.build());
+        }
+        for threads in [1, 2, 4] {
+            assert_eq!(verify_with_threads(&m, threads), Ok(()));
+        }
+    }
+
+    #[test]
+    fn threaded_verify_reports_the_lowest_id_error() {
+        let m = module_with_two_bad(33);
+        let sequential = verify(&m).unwrap_err();
+        for threads in [2, 4, 8] {
+            assert_eq!(verify_with_threads(&m, threads).unwrap_err(), sequential);
+        }
+        assert!(matches!(
+            sequential,
+            VerifyError::DanglingCallee { func, .. } if func == FuncId::from_raw(33)
+        ));
+    }
 }
 
 #[cfg(test)]

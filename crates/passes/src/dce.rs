@@ -53,8 +53,50 @@ pub fn strip_unreachable(
     roots: &[FuncId],
     address_taken: &[FuncId],
 ) -> (Module, DceMap, DceStats) {
+    strip_unreachable_threaded(module, roots, address_taken, 1)
+}
+
+/// The callees and promoted-guard targets of one function — the out-edges
+/// the mark phase follows.
+fn out_edges(f: &pibe_ir::Function) -> Vec<FuncId> {
+    let mut out = Vec::new();
+    for block in f.blocks() {
+        for inst in &block.insts {
+            if let Inst::Call { callee, .. } = inst {
+                out.push(*callee);
+            }
+        }
+        if let Terminator::Branch {
+            cond: Cond::TargetIs { target, .. },
+            ..
+        } = &block.term
+        {
+            out.push(*target);
+        }
+    }
+    out
+}
+
+/// Like [`strip_unreachable`], fanning the expensive per-function body
+/// scans across up to `threads` workers.
+///
+/// With `threads > 1` the mark phase first extracts every function's
+/// out-edges in parallel (the body walks dominate DCE cost at kernel
+/// scale), then runs the same worklist closure over the precomputed edge
+/// lists; the sweep and remap are unchanged. Liveness is a fixpoint over
+/// the same edge set either way, so the surviving set — and therefore the
+/// output module, map, and stats — is identical to the sequential pass.
+pub fn strip_unreachable_threaded(
+    module: &Module,
+    roots: &[FuncId],
+    address_taken: &[FuncId],
+    threads: usize,
+) -> (Module, DceMap, DceStats) {
     let _pass_span = pibe_trace::span("pass.dce");
     // Mark phase.
+    let edges: Option<Vec<Vec<FuncId>>> = (threads > 1).then(|| {
+        pibe_ir::par::map_indexed(module.len(), threads, |i| out_edges(&module.functions()[i]))
+    });
     let mut live: HashSet<FuncId> = HashSet::new();
     let mut work: Vec<FuncId> = Vec::new();
     for &f in roots.iter().chain(address_taken) {
@@ -63,12 +105,21 @@ pub fn strip_unreachable(
         }
     }
     while let Some(f) = work.pop() {
+        let mut follow = |succ: FuncId, work: &mut Vec<FuncId>| {
+            if live.insert(succ) {
+                work.push(succ);
+            }
+        };
+        if let Some(edges) = &edges {
+            for &succ in &edges[f.index()] {
+                follow(succ, &mut work);
+            }
+            continue;
+        }
         for block in module.function(f).blocks() {
             for inst in &block.insts {
                 if let Inst::Call { callee, .. } = inst {
-                    if live.insert(*callee) {
-                        work.push(*callee);
-                    }
+                    follow(*callee, &mut work);
                 }
             }
             if let Terminator::Branch {
@@ -76,9 +127,7 @@ pub fn strip_unreachable(
                 ..
             } = &block.term
             {
-                if live.insert(*target) {
-                    work.push(*target);
-                }
+                follow(*target, &mut work);
             }
         }
     }
@@ -88,13 +137,30 @@ pub fn strip_unreachable(
     let mut forward: Vec<Option<FuncId>> = vec![None; module.len()];
     for f in module.functions() {
         if live.contains(&f.id()) {
-            forward[f.id().index()] = Some(stripped.add_function(f.clone()));
+            // Arc clone: survivors stay shared with the input module until
+            // the remap below actually has to rewrite one of them.
+            forward[f.id().index()] = Some(stripped.add_function_arc(f.clone()));
         }
     }
-    // Remap call targets.
+    // Remap call targets. Only functions whose targets actually move get
+    // rewritten — everything else stays CoW-shared with the input module.
     let translate =
         |old: FuncId| forward[old.index()].expect("live function calls only live functions");
     for id in stripped.func_ids().collect::<Vec<_>>() {
+        let needs_remap = stripped.function(id).blocks().iter().any(|block| {
+            block.insts.iter().any(
+                |inst| matches!(inst, Inst::Call { callee, .. } if translate(*callee) != *callee),
+            ) || matches!(
+                &block.term,
+                Terminator::Branch {
+                    cond: Cond::TargetIs { target, .. },
+                    ..
+                } if translate(*target) != *target
+            )
+        });
+        if !needs_remap {
+            continue;
+        }
         for block in stripped.function_mut(id).blocks_mut() {
             for inst in &mut block.insts {
                 if let Inst::Call { callee, .. } = inst {
@@ -215,6 +281,22 @@ mod tests {
         let (stripped, map, _) = strip_unreachable(&m, &[root], &[]);
         assert!(map.translate(dead1).is_some(), "guard target kept");
         stripped.verify().unwrap();
+    }
+
+    #[test]
+    fn threaded_dce_is_bit_identical_to_sequential() {
+        let (m, root, _) = module();
+        let dead1 = m.find_function("dead1").unwrap();
+        let (ref_m, ref_map, ref_stats) = strip_unreachable(&m, &[root], &[dead1]);
+        for threads in [2, 4] {
+            let (got_m, got_map, got_stats) =
+                strip_unreachable_threaded(&m, &[root], &[dead1], threads);
+            assert_eq!(got_stats, ref_stats, "threads={threads}");
+            assert_eq!(got_m.functions(), ref_m.functions(), "threads={threads}");
+            for old in m.func_ids() {
+                assert_eq!(got_map.translate(old), ref_map.translate(old));
+            }
+        }
     }
 
     #[test]

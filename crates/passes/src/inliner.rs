@@ -28,7 +28,7 @@
 use crate::transform::{inline_call_site, InlineError};
 use crate::weights::SiteWeights;
 use pibe_ir::{size, CallGraph, FuncId, Inst, Module, SiteId};
-use pibe_profile::{select_by_budget, Budget, Profile};
+use pibe_profile::{Budget, BudgetRanking, Profile};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
@@ -117,8 +117,15 @@ pub fn run_inliner(
     config: &InlinerConfig,
 ) -> InlinerStats {
     let _pass_span = pibe_trace::span("pass.inline");
-    let graph = CallGraph::build(module);
+    let mut graph = CallGraph::build(module);
     let mut stats = InlinerStats::default();
+
+    // Incremental analyses: per-function complexity is memoised on first
+    // use and updated by the exact splice delta on each successful inline
+    // (see `size::inline_cost_delta`), and the call graph is patched edge
+    // by edge — neither is ever recomputed from bodies mid-pass. Inlining
+    // never adds or removes functions, so the dense cache stays aligned.
+    let mut cost_cache: Vec<Option<u32>> = vec![None; module.len()];
 
     // Rule 1: collect and rank every direct call site.
     let mut initial: Vec<(Candidate, u64)> = Vec::new();
@@ -146,7 +153,10 @@ pub fn run_inliner(
         }
     }
 
-    let selected = select_by_budget(&initial, config.budget);
+    // One ranking pass answers both budgets: the selection prefix and, in
+    // lax mode, the lax-exemption floor share the same sorted population.
+    let ranking = BudgetRanking::new(&initial);
+    let selected = ranking.selected(config.budget);
     stats.candidate_sites = selected.len() as u64;
     stats.candidate_weight = selected.iter().map(|(_, w)| *w).sum();
     // The coldest selected weight: propagated candidates below it are out of
@@ -154,13 +164,12 @@ pub fn run_inliner(
     // lax mode is on.
     let weight_floor = selected.last().map(|(_, w)| *w).unwrap_or(u64::MAX);
     let lax_floor = if config.lax_heuristics {
-        let lax = select_by_budget(&initial, config.lax_budget);
-        lax.last().map(|(_, w)| *w).unwrap_or(u64::MAX)
+        ranking.floor(config.lax_budget).unwrap_or(u64::MAX)
     } else {
         u64::MAX
     };
 
-    let mut heap: BinaryHeap<Candidate> = selected.into_iter().map(|(c, _)| c).collect();
+    let mut heap: BinaryHeap<Candidate> = selected.iter().map(|(c, _)| *c).collect();
 
     while let Some(cand) = heap.pop() {
         let caller_fn = module.function(cand.caller);
@@ -181,7 +190,7 @@ pub fn run_inliner(
         }
 
         let exempt = cand.weight >= lax_floor;
-        let callee_cost = size::function_cost(callee_fn);
+        let callee_cost = cached_cost(&mut cost_cache, module, cand.callee);
         pibe_trace::record_value("inline.callee_cost", callee_cost as u64);
         if !exempt {
             // Rule 3: a heavyweight callee would deplete the caller's
@@ -192,7 +201,7 @@ pub fn run_inliner(
                 continue;
             }
             // Rule 2: bound the caller's post-inline complexity.
-            let caller_cost = size::function_cost(caller_fn);
+            let caller_cost = cached_cost(&mut cost_cache, module, cand.caller);
             if caller_cost.saturating_add(callee_cost) > config.rule2_caller_limit {
                 stats.blocked_rule2_weight += cand.weight;
                 reject_event(&cand, "rule2", caller_cost.saturating_add(callee_cost));
@@ -202,6 +211,21 @@ pub fn run_inliner(
 
         match inline_call_site(module, cand.caller, cand.site) {
             Ok(info) => {
+                // Only the caller's body changed; patch its cached cost by
+                // the exact splice delta and the graph by the elided /
+                // copied edges.
+                if let Some(c) = cost_cache[cand.caller.index()] {
+                    let updated =
+                        i64::from(c) + size::inline_cost_delta(callee_cost, info.call_args);
+                    debug_assert!(updated >= 0, "a function's cost cannot go negative");
+                    cost_cache[cand.caller.index()] = Some(updated as u32);
+                }
+                graph.record_inline(
+                    cand.caller,
+                    cand.callee,
+                    cand.site,
+                    &info.copied_direct_sites,
+                );
                 stats.inlined_sites += 1;
                 stats.inlined_weight += cand.weight;
                 pibe_trace::event_args("inline.accept", || {
@@ -243,6 +267,19 @@ pub fn run_inliner(
         }
     }
     stats
+}
+
+/// The memoised complexity of `f`: computed from the body on first use,
+/// kept current by the exact inline delta afterwards (see `run_inliner`).
+fn cached_cost(cache: &mut [Option<u32>], module: &Module, f: FuncId) -> u32 {
+    match cache[f.index()] {
+        Some(c) => c,
+        None => {
+            let c = size::function_cost(module.function(f));
+            cache[f.index()] = Some(c);
+            c
+        }
+    }
 }
 
 /// Emits the cost/benefit decision event for a rejected inline candidate

@@ -67,7 +67,7 @@ pub mod stats;
 mod transform;
 mod weights;
 
-pub use dce::{strip_unreachable, DceMap, DceStats};
+pub use dce::{strip_unreachable, strip_unreachable_threaded, DceMap, DceStats};
 pub use icp::{promote_indirect_calls, IcpConfig, IcpStats};
 pub use inliner::{run_inliner, InlinerConfig, InlinerStats};
 pub use spectre_v1::{fence_all_conditionals, fence_gadgets, find_v1_gadgets, V1Gadget};

@@ -14,6 +14,10 @@ pub struct InlinedCall {
     pub callee: FuncId,
     /// The elided call site.
     pub site: SiteId,
+    /// Arguments the elided call passed — with the callee's complexity this
+    /// determines the exact caller-cost change
+    /// ([`pibe_ir::size::inline_cost_delta`]).
+    pub call_args: u8,
     /// Direct call sites copied into the caller: `(site, callee)`.
     pub copied_direct_sites: Vec<(SiteId, FuncId)>,
     /// Indirect call sites copied into the caller.
@@ -69,21 +73,23 @@ pub fn inline_call_site(
     site: SiteId,
 ) -> Result<InlinedCall, InlineError> {
     // Locate the call.
-    let mut found: Option<(BlockId, usize, FuncId)> = None;
+    let mut found: Option<(BlockId, usize, FuncId, u8)> = None;
     'outer: for (bid, block) in module.function(caller).iter_blocks() {
         for (idx, inst) in block.insts.iter().enumerate() {
             if let Inst::Call {
-                site: s, callee, ..
+                site: s,
+                callee,
+                args,
             } = inst
             {
                 if *s == site {
-                    found = Some((bid, idx, *callee));
+                    found = Some((bid, idx, *callee, *args));
                     break 'outer;
                 }
             }
         }
     }
-    let (bid, idx, callee) = found.ok_or(InlineError::SiteNotFound { caller, site })?;
+    let (bid, idx, callee, call_args) = found.ok_or(InlineError::SiteNotFound { caller, site })?;
     if callee == caller {
         return Err(InlineError::SelfInline { func: caller });
     }
@@ -139,6 +145,7 @@ pub fn inline_call_site(
         caller,
         callee,
         site,
+        call_args,
         copied_direct_sites: copied_direct,
         copied_indirect_sites: copied_indirect,
     })
@@ -202,6 +209,21 @@ mod tests {
         // The call inst (5 + 5*1) disappears; the body plus glue jumps appear.
         assert!(caller_after > caller_before);
         assert!(caller_after <= caller_before + callee_cost + 2 * size::STANDARD_INST_COST);
+    }
+
+    #[test]
+    fn inline_cost_delta_is_exact() {
+        let (mut m, caller, callee, site) = module();
+        let caller_before = size::function_cost(m.function(caller));
+        let callee_cost = size::function_cost(m.function(callee));
+        let info = inline_call_site(&mut m, caller, site).unwrap();
+        let caller_after = size::function_cost(m.function(caller));
+        assert_eq!(info.call_args, 1);
+        assert_eq!(
+            i64::from(caller_after),
+            i64::from(caller_before) + size::inline_cost_delta(callee_cost, info.call_args),
+            "the analytic delta must match a recomputed walk exactly"
+        );
     }
 
     #[test]

@@ -75,6 +75,65 @@ impl fmt::Display for Budget {
     }
 }
 
+/// A candidate population ranked once, queryable under many budgets.
+///
+/// [`select_by_budget`] sorts on every call; when several budgets are
+/// evaluated over the *same* population — the inliner's strict selection
+/// floor and its lax-heuristics floor — rank once and query each budget as
+/// an O(n) prefix scan over the shared sort.
+#[derive(Debug, Clone)]
+pub struct BudgetRanking<T> {
+    sorted: Vec<(T, u64)>,
+    total: u128,
+}
+
+impl<T: Ord + Clone> BudgetRanking<T> {
+    /// Ranks `candidates` by descending weight, ties broken by the `Ord`
+    /// on `T` — the exact order [`select_by_budget`] uses.
+    pub fn new(candidates: &[(T, u64)]) -> Self {
+        let total = candidates.iter().map(|(_, w)| u128::from(*w)).sum();
+        let mut sorted: Vec<(T, u64)> = candidates.to_vec();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        BudgetRanking { sorted, total }
+    }
+
+    /// Length of the minimal hottest-first prefix covering `budget`.
+    fn prefix_len(&self, budget: Budget) -> usize {
+        if self.total == 0 {
+            return 0;
+        }
+        // Work in exact integer space: the budget percentage is quantised
+        // to micro-percent (the paper's finest budget, 99.9999%, has
+        // exactly six decimal places), and the comparison
+        //   cumulative / total >= percent / 100
+        // becomes  cumulative * 10^8 >= total * micro_percent  in u128.
+        let micro_percent = (budget.percent() * 1e6).round() as u128;
+        let needed = self.total * micro_percent;
+        let mut cum: u128 = 0;
+        let mut len = 0;
+        for (_, w) in &self.sorted {
+            if *w == 0 || cum * 100_000_000 >= needed {
+                break;
+            }
+            cum += u128::from(*w);
+            len += 1;
+        }
+        len
+    }
+
+    /// The selected hottest-first prefix for `budget` — the slice
+    /// [`select_by_budget`] would return for the same population.
+    pub fn selected(&self, budget: Budget) -> &[(T, u64)] {
+        &self.sorted[..self.prefix_len(budget)]
+    }
+
+    /// The weight of the coldest candidate `budget` selects, or `None`
+    /// when it selects nothing (empty or zero-weight population).
+    pub fn floor(&self, budget: Budget) -> Option<u64> {
+        self.selected(budget).last().map(|(_, w)| *w)
+    }
+}
+
 /// Greedily selects the hottest-first prefix of `candidates` whose cumulative
 /// weight covers `budget` percent of the total weight.
 ///
@@ -82,34 +141,10 @@ impl fmt::Display for Budget {
 /// descending weight (ties broken by the `Ord` on `T` for determinism) and
 /// contains the minimal prefix whose cumulative weight is `>=`
 /// `budget.fraction() * total_weight`. Zero-weight candidates are never
-/// selected.
+/// selected. Evaluating several budgets over one population? Build a
+/// [`BudgetRanking`] instead and share the sort.
 pub fn select_by_budget<T: Ord + Clone>(candidates: &[(T, u64)], budget: Budget) -> Vec<(T, u64)> {
-    let total: u128 = candidates.iter().map(|(_, w)| u128::from(*w)).sum();
-    if total == 0 {
-        return Vec::new();
-    }
-    let mut sorted: Vec<(T, u64)> = candidates.to_vec();
-    sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    // Work in exact integer space: the budget percentage is quantised to
-    // micro-percent (the paper's finest budget, 99.9999%, has exactly six
-    // decimal places), and the comparison
-    //   cumulative / total >= percent / 100
-    // becomes  cumulative * 10^8 >= total * micro_percent  in u128.
-    let micro_percent = (budget.percent() * 1e6).round() as u128;
-    let needed = total * micro_percent;
-    let mut cum: u128 = 0;
-    let mut out = Vec::new();
-    for (t, w) in sorted {
-        if w == 0 {
-            break;
-        }
-        if cum * 100_000_000 >= needed {
-            break;
-        }
-        cum += u128::from(w);
-        out.push((t, w));
-    }
-    out
+    BudgetRanking::new(candidates).selected(budget).to_vec()
 }
 
 #[cfg(test)]
@@ -161,5 +196,28 @@ mod tests {
         let cands = vec![("b", 5u64), ("a", 5)];
         let sel = select_by_budget(&cands, Budget::new(50.0).unwrap());
         assert_eq!(sel, vec![("a", 5)]);
+    }
+
+    #[test]
+    fn ranking_answers_every_budget_like_a_fresh_sort() {
+        let cands = vec![("d", 1u64), ("a", 900), ("c", 9), ("b", 90), ("e", 0)];
+        let ranking = BudgetRanking::new(&cands);
+        for budget in [
+            Budget::new(50.0).unwrap(),
+            Budget::P99,
+            Budget::P99_9,
+            Budget::new(100.0).unwrap(),
+        ] {
+            assert_eq!(
+                ranking.selected(budget),
+                select_by_budget(&cands, budget).as_slice(),
+                "budget {budget}"
+            );
+            assert_eq!(
+                ranking.floor(budget),
+                select_by_budget(&cands, budget).last().map(|(_, w)| *w)
+            );
+        }
+        assert_eq!(BudgetRanking::<&str>::new(&[]).floor(Budget::P99), None);
     }
 }

@@ -63,7 +63,7 @@ pub mod overlap;
 mod profile;
 
 pub use analysis::{direct_concentration, indirect_concentration, top_direct_sites, Concentration};
-pub use budget::{select_by_budget, Budget, BudgetError};
+pub use budget::{select_by_budget, Budget, BudgetError, BudgetRanking};
 pub use chaos::{corrupt_profile, ChaosRng, ProfileChaos};
 pub use health::{ProfileHealth, ProfileIssue, ProfileRepair, COUNT_CLAMP};
 pub use profile::{Profile, ProfileStats, ValueProfileEntry};

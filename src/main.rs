@@ -1,0 +1,282 @@
+//! `pibe-suite` — the reproduction's command-line entry point.
+//!
+//! ```text
+//! pibe-suite bench [--scale F] [--iters N] [--rounds N] [--threads N]
+//!                  [--repeat N] [--out PATH] [--baseline PATH]
+//!                  [--tolerance PCT]
+//!
+//!   --scale F       kernel scale: 1.0 = the paper's Linux 5.1 census
+//!                   (default 0.15)
+//!   --iters N       LMBench iterations per benchmark when collecting the
+//!                   training profile (default 4)
+//!   --rounds N      profiling rounds to aggregate (default 1; paper: 11)
+//!   --threads N     per-build stage threads (default: PIBE_BUILD_THREADS
+//!                   if set, else the machine's available parallelism)
+//!   --repeat N      how many times to rebuild each configuration
+//!                   (default 2; timings are summed over all builds)
+//!   --out PATH      where to write the JSON record
+//!                   (default BENCH_pipeline.json)
+//!   --baseline PATH compare against a previously committed record and
+//!                   exit 1 on regression
+//!   --tolerance PCT per-stage wall-time regression tolerance in percent
+//!                   (default 25)
+//! ```
+//!
+//! The `bench` subcommand times the hardening pipeline itself — not the
+//! simulated kernel. It generates the synthetic kernel, collects a training
+//! profile, then drives [`pibe::Image::builder`] directly (no farm cache, so
+//! every iteration is a real build) over a fixed set of configurations that
+//! together exercise every pipeline stage. The per-stage wall-clock sums
+//! from [`pibe::BuildMetrics`] are printed and written as
+//! `BENCH_pipeline.json`, the perf-trajectory record CI regresses against.
+
+use pibe::{BuildMetrics, Image, PibeConfig};
+use pibe_harden::DefenseSet;
+use pibe_kernel::measure::collect_profile;
+use pibe_kernel::workloads::lmbench_suite;
+use pibe_kernel::{Kernel, KernelSpec, WorkloadSpec};
+use pibe_profile::Budget;
+use std::time::Instant;
+
+/// Stages whose baseline time is below this floor are excluded from the
+/// regression check: a stage that took under 10ms in the baseline cannot be
+/// compared meaningfully in percent across runs (timer noise dominates).
+const NOISE_FLOOR_NS: u64 = 10_000_000;
+
+struct Args {
+    scale: f64,
+    iters: u32,
+    rounds: u32,
+    threads: Option<usize>,
+    repeat: u32,
+    out: String,
+    baseline: Option<String>,
+    tolerance: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pibe-suite bench [--scale F] [--iters N] [--rounds N] \
+         [--threads N] [--repeat N] [--out PATH] [--baseline PATH] \
+         [--tolerance PCT]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        Some("bench") => {}
+        _ => usage(),
+    }
+    let mut args = Args {
+        scale: 0.15,
+        iters: 4,
+        rounds: 1,
+        threads: None,
+        repeat: 2,
+        out: "BENCH_pipeline.json".into(),
+        baseline: None,
+        tolerance: 25.0,
+    };
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = val().parse().expect("--scale takes a float"),
+            "--iters" => args.iters = val().parse().expect("--iters takes an integer"),
+            "--rounds" => args.rounds = val().parse().expect("--rounds takes an integer"),
+            "--threads" => {
+                args.threads = Some(val().parse().expect("--threads takes a positive integer"));
+            }
+            "--repeat" => args.repeat = val().parse().expect("--repeat takes an integer"),
+            "--out" => args.out = val(),
+            "--baseline" => args.baseline = Some(val()),
+            "--tolerance" => args.tolerance = val().parse().expect("--tolerance takes a float"),
+            _ => usage(),
+        }
+    }
+    assert!(args.repeat >= 1, "--repeat must be at least 1");
+    args
+}
+
+/// The fixed configuration set: together these exercise every stage the
+/// pipeline has (validate, clone, ICP, inlining, DCE, harden, audit, size,
+/// verify) from a pure-defense build up to the paper's optimal
+/// configuration.
+fn bench_configs() -> Vec<(&'static str, PibeConfig)> {
+    vec![
+        ("lto+all", PibeConfig::lto_with(DefenseSet::ALL)),
+        (
+            "icp99+retpolines",
+            PibeConfig::icp_only(Budget::P99, DefenseSet::RETPOLINES),
+        ),
+        (
+            "full99+all+dce",
+            PibeConfig::full(Budget::P99, DefenseSet::ALL).with_dce(true),
+        ),
+        (
+            "lax+all+dce",
+            PibeConfig::lax(DefenseSet::ALL).with_dce(true),
+        ),
+    ]
+}
+
+fn stages_json(m: &BuildMetrics) -> serde_json::Value {
+    serde_json::Value::Object(
+        m.stages()
+            .iter()
+            .map(|(name, ns)| (String::from(*name), serde_json::json!(*ns)))
+            .collect(),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let threads = args.threads.unwrap_or_else(pibe_ir::par::default_threads);
+    assert!(threads >= 1, "--threads must be at least 1");
+
+    println!("; PIBE pipeline bench");
+    println!(
+        "; kernel scale {}, {} profile iters, {} profiling rounds, \
+         {} stage threads, repeat {}",
+        args.scale, args.iters, args.rounds, threads, args.repeat
+    );
+
+    let t0 = Instant::now();
+    let spec = KernelSpec {
+        scale: args.scale,
+        ..KernelSpec::paper()
+    };
+    let kernel = Kernel::generate(spec);
+    let workload = WorkloadSpec::lmbench();
+    let suite = lmbench_suite(args.iters);
+    let profile =
+        collect_profile(&kernel, &workload, &suite, args.rounds, 0xBA5E).unwrap_or_else(|e| {
+            eprintln!("error: profiling run failed: {e}");
+            std::process::exit(1);
+        });
+    eprintln!(
+        "[kernel + profile ready in {:.1?}: {} functions]",
+        t0.elapsed(),
+        kernel.module.len()
+    );
+
+    let configs = bench_configs();
+    let mut aggregate = BuildMetrics::default();
+    let mut per_config: Vec<(&'static str, BuildMetrics)> = Vec::new();
+    let mut builds = 0u32;
+    for (name, config) in &configs {
+        let mut config_metrics = BuildMetrics::default();
+        for _ in 0..args.repeat {
+            let image = Image::builder(&kernel.module)
+                .profile(&profile)
+                .config(*config)
+                .threads(threads)
+                .build()
+                .unwrap_or_else(|e| {
+                    eprintln!("error: build of {name} failed: {e}");
+                    std::process::exit(1);
+                });
+            config_metrics.accumulate(&image.metrics);
+            builds += 1;
+        }
+        eprintln!(
+            "[{name}: {} builds, {:.1}ms total]",
+            args.repeat,
+            config_metrics.total_ns as f64 / 1e6
+        );
+        aggregate.accumulate(&config_metrics);
+        per_config.push((name, config_metrics));
+    }
+
+    let ms = |ns: u64| format!("{:.1}", ns as f64 / 1e6);
+    println!("\n; per-stage wall time summed over {builds} builds");
+    for (stage, ns) in aggregate.stages() {
+        println!("stage {stage:>8} (ms)  {}", ms(ns));
+    }
+    println!("total build  (ms)  {}", ms(aggregate.total_ns));
+    println!("stage rollbacks    {}", aggregate.rollbacks);
+
+    let doc = serde_json::json!({
+        "bench": "pipeline",
+        "scale": args.scale,
+        "iters": args.iters,
+        "rounds": args.rounds,
+        "threads": threads,
+        "repeat": args.repeat,
+        "functions": kernel.module.len(),
+        "builds": builds,
+        "stages_ns": stages_json(&aggregate),
+        "total_ns": aggregate.total_ns,
+        "rollbacks": aggregate.rollbacks,
+        "configs": per_config
+            .iter()
+            .map(|(name, m)| {
+                serde_json::json!({
+                    "name": *name,
+                    "stages_ns": stages_json(m),
+                    "total_ns": m.total_ns,
+                })
+            })
+            .collect::<Vec<_>>(),
+    });
+    std::fs::write(
+        &args.out,
+        serde_json::to_string_pretty(&doc).expect("bench record serializes"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    eprintln!("[wrote {}]", args.out);
+
+    if let Some(path) = &args.baseline {
+        let regressions = compare_against_baseline(path, &aggregate, args.tolerance);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("regression: {r}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "; no stage regressed more than {}% vs {path}",
+            args.tolerance
+        );
+    }
+}
+
+/// Compares this run's aggregate per-stage times against a committed
+/// baseline record, returning one message per stage whose wall time grew by
+/// more than `tolerance` percent. Stages below [`NOISE_FLOOR_NS`] in the
+/// baseline are skipped — percent comparisons on sub-10ms stages measure
+/// timer noise, not the pipeline.
+fn compare_against_baseline(path: &str, current: &BuildMetrics, tolerance: f64) -> Vec<String> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("baseline {path} is not JSON: {e}"));
+    let stages = doc
+        .get("stages_ns")
+        .unwrap_or_else(|| panic!("baseline {path} has no stages_ns object"));
+    let mut regressions = Vec::new();
+    for (stage, now_ns) in current.stages() {
+        let base_ns = match stages.get(stage) {
+            Some(serde_json::Value::U64(ns)) => *ns,
+            Some(serde_json::Value::I64(ns)) => *ns as u64,
+            _ => continue, // stage absent from an older record: nothing to compare
+        };
+        if base_ns < NOISE_FLOOR_NS {
+            continue;
+        }
+        let limit = base_ns as f64 * (1.0 + tolerance / 100.0);
+        if now_ns as f64 > limit {
+            regressions.push(format!(
+                "stage {stage}: {:.1}ms vs baseline {:.1}ms (+{:.0}%, tolerance {tolerance}%)",
+                now_ns as f64 / 1e6,
+                base_ns as f64 / 1e6,
+                (now_ns as f64 / base_ns as f64 - 1.0) * 100.0,
+            ));
+        }
+    }
+    regressions
+}

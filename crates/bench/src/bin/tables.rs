@@ -10,6 +10,10 @@
 //!   --requests N   macro-benchmark requests (default 40)
 //!   --threads N    image-farm worker threads (default: PIBE_BUILD_THREADS
 //!                  if set, else the machine's available parallelism)
+//!   --arch NAME    defense backend every table runs under: x86_64
+//!                  (default), arm64, riscv64, riscv64-nop. Equivalent to
+//!                  setting PIBE_ARCH. The crossarch table always sweeps
+//!                  all backends regardless of this flag.
 //!   --only LIST    comma-separated subset, e.g. "1,5,robustness,fig1"
 //!   --json PATH    additionally write all regenerated tables as JSON
 //!   --trace PATH   enable pipeline tracing, write a Chrome trace-event
@@ -41,6 +45,7 @@ struct Args {
     rounds: u32,
     requests: u32,
     threads: Option<usize>,
+    arch: Option<String>,
     only: Option<Vec<String>>,
     json: Option<String>,
     trace: Option<String>,
@@ -53,6 +58,7 @@ fn parse_args() -> Args {
         rounds: 3,
         requests: 40,
         threads: None,
+        arch: None,
         only: None,
         json: None,
         trace: None,
@@ -71,6 +77,13 @@ fn parse_args() -> Args {
             "--threads" => {
                 args.threads = Some(val().parse().expect("--threads takes a positive integer"));
             }
+            "--arch" => {
+                let name = val();
+                let _: pibe::Arch = name
+                    .parse()
+                    .unwrap_or_else(|e: String| panic!("--arch: {e}"));
+                args.arch = Some(name);
+            }
             "--only" => args.only = Some(val().split(',').map(str::to_string).collect()),
             "--json" => args.json = Some(val()),
             "--trace" => args.trace = Some(val()),
@@ -78,7 +91,8 @@ fn parse_args() -> Args {
             "--list" => {
                 println!(
                     "available keys: 1 fig1 2 3 4 5 6 7 8 9 10 11 12 \
-                     robustness refill breakdown v1 eibrs userspace convergence"
+                     robustness refill breakdown v1 eibrs userspace convergence \
+                     crossarch"
                 );
                 std::process::exit(0);
             }
@@ -102,6 +116,11 @@ fn main() {
         assert!(n >= 1, "--threads takes a positive integer");
         // The farm reads this when the lab constructs it.
         std::env::set_var("PIBE_BUILD_THREADS", n.to_string());
+    }
+    if let Some(arch) = &args.arch {
+        // The lab reads this when it constructs; every table then runs
+        // under the named backend.
+        std::env::set_var("PIBE_ARCH", arch);
     }
     let wanted = |key: &str| {
         args.only
@@ -153,6 +172,7 @@ fn main() {
         "eibrs",
         "userspace",
         "convergence",
+        "crossarch",
     ];
     if !lab_keys.iter().any(|k| wanted(k)) {
         write_json(&args, &produced);
@@ -169,12 +189,13 @@ fn main() {
     let census = lab.kernel.module.census();
     eprintln!(
         "[lab ready in {:.1?}: {} functions, {} icall sites, {} return sites, \
-         {} farm threads]",
+         {} farm threads, arch {}]",
         t0.elapsed(),
         lab.kernel.module.len(),
         census.indirect_calls,
         census.returns,
-        lab.farm().threads()
+        lab.farm().threads(),
+        lab.arch.name()
     );
 
     type TableFn = dyn Fn(&Lab) -> pibe::report::Table;
@@ -280,6 +301,15 @@ fn main() {
         println!("\n{table}");
         produced.push(table);
         eprintln!("[robustness in {:.1?}]", t0.elapsed());
+    }
+    if wanted("crossarch") {
+        let t0 = Instant::now();
+        let span = pibe_trace::span("table.crossarch");
+        let (table, _) = experiments::cross_arch(&lab);
+        drop(span);
+        println!("\n{table}");
+        produced.push(table);
+        eprintln!("[crossarch in {:.1?}]", t0.elapsed());
     }
     let build_report = build_report(&lab);
     println!("\n{build_report}");

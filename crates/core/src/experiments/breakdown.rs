@@ -79,10 +79,22 @@ fn suite_breakdown(lab: &Lab, image: &crate::Image) -> Result<CycleBreakdown, Ex
 /// measurement fails.
 pub fn cycle_breakdown(lab: &Lab) -> Result<(Table, Vec<CycleBreakdown>), ExperimentError> {
     let configs: [(&str, PibeConfig); 4] = [
-        ("LTO baseline", PibeConfig::lto()),
-        ("LTO w/all-defenses", PibeConfig::lto_with(DefenseSet::ALL)),
-        ("PIBE baseline (no defenses)", PibeConfig::pibe_baseline()),
-        ("PIBE w/all-defenses", PibeConfig::lax(DefenseSet::ALL)),
+        ("LTO baseline", PibeConfig::builder().build()),
+        (
+            "LTO w/all-defenses",
+            PibeConfig::builder().defenses(DefenseSet::ALL).build(),
+        ),
+        (
+            "PIBE baseline (no defenses)",
+            PibeConfig::builder().lax().build(),
+        ),
+        (
+            "PIBE w/all-defenses",
+            PibeConfig::builder()
+                .lax()
+                .defenses(DefenseSet::ALL)
+                .build(),
+        ),
     ];
     let mut table = Table::new(
         "Cycle attribution across the LMBench suite",

@@ -66,11 +66,16 @@ pub fn eibrs_comparison(lab: &Lab) -> (Table, Vec<ForwardEdgePosture>) {
     };
 
     lab.prefetch(&[
-        PibeConfig::lto(),
-        PibeConfig::lto_with(DefenseSet::RETPOLINES),
-        PibeConfig::icp_only(Budget::P99_999, DefenseSet::RETPOLINES),
+        PibeConfig::builder().build(),
+        PibeConfig::builder()
+            .defenses(DefenseSet::RETPOLINES)
+            .build(),
+        PibeConfig::builder()
+            .icp(Budget::P99_999)
+            .defenses(DefenseSet::RETPOLINES)
+            .build(),
     ]);
-    let lto = lab.image(&PibeConfig::lto());
+    let lto = lab.image(&PibeConfig::builder().build());
     measure("no forward-edge defense", &lto, SimConfig::default());
     measure(
         "eIBRS",
@@ -80,7 +85,11 @@ pub fn eibrs_comparison(lab: &Lab) -> (Table, Vec<ForwardEdgePosture>) {
             ..SimConfig::default()
         },
     );
-    let retp = lab.image(&PibeConfig::lto_with(DefenseSet::RETPOLINES));
+    let retp = lab.image(
+        &PibeConfig::builder()
+            .defenses(DefenseSet::RETPOLINES)
+            .build(),
+    );
     measure(
         "retpolines (unoptimized)",
         &retp,
@@ -89,10 +98,12 @@ pub fn eibrs_comparison(lab: &Lab) -> (Table, Vec<ForwardEdgePosture>) {
             ..SimConfig::default()
         },
     );
-    let retp_pibe = lab.image(&PibeConfig::icp_only(
-        Budget::P99_999,
-        DefenseSet::RETPOLINES,
-    ));
+    let retp_pibe = lab.image(
+        &PibeConfig::builder()
+            .icp(Budget::P99_999)
+            .defenses(DefenseSet::RETPOLINES)
+            .build(),
+    );
     measure(
         "retpolines + PIBE icp",
         &retp_pibe,

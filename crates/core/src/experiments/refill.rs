@@ -58,11 +58,16 @@ pub fn rsb_refill_comparison(lab: &Lab) -> (Table, Vec<BackwardEdgePosture>) {
     };
 
     lab.prefetch(&[
-        PibeConfig::lto(),
-        PibeConfig::lto_with(DefenseSet::RET_RETPOLINES),
-        PibeConfig::lax(DefenseSet::RET_RETPOLINES),
+        PibeConfig::builder().build(),
+        PibeConfig::builder()
+            .defenses(DefenseSet::RET_RETPOLINES)
+            .build(),
+        PibeConfig::builder()
+            .lax()
+            .defenses(DefenseSet::RET_RETPOLINES)
+            .build(),
     ]);
-    let lto = lab.image(&PibeConfig::lto());
+    let lto = lab.image(&PibeConfig::builder().build());
     measure("no backward-edge defense", &lto, SimConfig::default());
     measure(
         "RSB refilling",
@@ -72,7 +77,11 @@ pub fn rsb_refill_comparison(lab: &Lab) -> (Table, Vec<BackwardEdgePosture>) {
             ..SimConfig::default()
         },
     );
-    let rr = lab.image(&PibeConfig::lto_with(DefenseSet::RET_RETPOLINES));
+    let rr = lab.image(
+        &PibeConfig::builder()
+            .defenses(DefenseSet::RET_RETPOLINES)
+            .build(),
+    );
     measure(
         "return retpolines (unoptimized)",
         &rr,
@@ -81,7 +90,12 @@ pub fn rsb_refill_comparison(lab: &Lab) -> (Table, Vec<BackwardEdgePosture>) {
             ..SimConfig::default()
         },
     );
-    let rr_pibe = lab.image(&PibeConfig::lax(DefenseSet::RET_RETPOLINES));
+    let rr_pibe = lab.image(
+        &PibeConfig::builder()
+            .lax()
+            .defenses(DefenseSet::RET_RETPOLINES)
+            .build(),
+    );
     measure(
         "return retpolines + PIBE",
         &rr_pibe,

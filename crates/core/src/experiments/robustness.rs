@@ -72,17 +72,31 @@ pub fn robustness(lab: &Lab, requests: u32) -> Result<(Table, RobustnessSummary)
     // built directly rather than through the farm.
     let apache_img = crate::Image::builder(&lab.kernel.module)
         .profile(&apache_profile)
-        .config(PibeConfig::lax(DefenseSet::ALL))
+        .config(
+            PibeConfig::builder()
+                .lax()
+                .defenses(DefenseSet::ALL)
+                .build(),
+        )
         .build()?;
     let apache_rows = lab.latencies(&apache_img);
     let apache_trained_pct = lab.geomean(&apache_rows);
 
     lab.prefetch(&[
-        PibeConfig::lax(DefenseSet::ALL),
-        PibeConfig::lto_with(DefenseSet::ALL),
+        PibeConfig::builder()
+            .lax()
+            .defenses(DefenseSet::ALL)
+            .build(),
+        PibeConfig::builder().defenses(DefenseSet::ALL).build(),
     ]);
-    let (matched_pct, _) = lab.run_config(&PibeConfig::lax(DefenseSet::ALL));
-    let (unoptimized_pct, _) = lab.run_config(&PibeConfig::lto_with(DefenseSet::ALL));
+    let (matched_pct, _) = lab.run_config(
+        &PibeConfig::builder()
+            .lax()
+            .defenses(DefenseSet::ALL)
+            .build(),
+    );
+    let (unoptimized_pct, _) =
+        lab.run_config(&PibeConfig::builder().defenses(DefenseSet::ALL).build());
 
     // 3. The stock pipeline with the matched profile: LLVM's default
     // (weight-blind, bottom-up) inliner and no aggressive promotion —

@@ -151,7 +151,12 @@ pub fn userspace(profiling_runs: u32) -> (Table, UserspaceSummary) {
 
     let image = Image::builder(&module)
         .profile(&profile)
-        .config(PibeConfig::lax(DefenseSet::ALL))
+        .config(
+            PibeConfig::builder()
+                .lax()
+                .defenses(DefenseSet::ALL)
+                .build(),
+        )
         .build()
         .expect("pipeline must preserve validity");
 

@@ -24,7 +24,7 @@
 
 use crate::chaos::{ModuleCorruption, SemanticCorruption};
 use crate::config::{FailurePolicy, PibeConfig, ValidationPolicy};
-use pibe_harden::{audit, costs, HardenReport, SecurityAudit};
+use pibe_harden::{audit_backend, AuditError, DefenseBackend, HardenReport, SecurityAudit};
 use pibe_ir::{FuncId, Module, VerifyError};
 use pibe_passes::{
     promote_indirect_calls, run_inliner, strip_unreachable_threaded, DceMap, DceStats, IcpStats,
@@ -87,8 +87,12 @@ pub struct ImageSize {
 }
 
 impl ImageSize {
-    fn of(module: &Module, defenses: pibe_harden::DefenseSet) -> Self {
-        let bytes = costs::hardened_image_bytes(module, defenses);
+    fn of(
+        module: &Module,
+        backend: &dyn DefenseBackend,
+        defenses: pibe_harden::DefenseSet,
+    ) -> Self {
+        let bytes = backend.hardened_image_bytes(module, defenses);
         ImageSize {
             bytes,
             mem_pages_2m: bytes.div_ceil(2 * 1024 * 1024),
@@ -268,6 +272,11 @@ pub enum PipelineError {
         /// The panic payload, or a placeholder for non-string payloads.
         message: String,
     },
+    /// The security audit could not classify a branch — evidence that the
+    /// image was hardened under a different backend or defense set than
+    /// the one it was audited against. The inner error names the offending
+    /// function and site.
+    AuditFailed(AuditError),
 }
 
 impl fmt::Display for PipelineError {
@@ -287,6 +296,9 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::StagePanicked { message } => {
                 write!(f, "build panicked in a worker thread: {message}")
+            }
+            PipelineError::AuditFailed(e) => {
+                write!(f, "security audit rejected the image: {e}")
             }
         }
     }
@@ -471,6 +483,7 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
                     "defenses",
                     pibe_trace::Value::from(format!("{:?}", config.defenses)),
                 ),
+                ("arch", pibe_trace::Value::from(config.arch.name())),
                 (
                     "validation",
                     pibe_trace::Value::from(format!("{:?}", config.validation)),
@@ -678,9 +691,10 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         // snapshot — an abort discards the module either way.)
         let stage = Instant::now();
         let trace_span = pibe_trace::span("stage.harden");
+        let backend = config.arch.backend();
         let harden_report;
         if guarded {
-            let report = pibe_harden::apply_threaded(&mut module, config.defenses, threads);
+            let report = pibe_harden::apply_with(&mut module, backend, config.defenses, threads);
             self.sabotage(Stage::Harden, &mut module);
             match module.verify_threaded(threads) {
                 Ok(()) => harden_report = report,
@@ -692,7 +706,7 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
                 }
             }
         } else {
-            harden_report = pibe_harden::apply_threaded(&mut module, config.defenses, threads);
+            harden_report = pibe_harden::apply_with(&mut module, backend, config.defenses, threads);
             self.sabotage(Stage::Harden, &mut module);
         }
         self.notify(Stage::Harden, &module, dce_map.as_ref());
@@ -701,13 +715,14 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
 
         let stage = Instant::now();
         let trace_span = pibe_trace::span("stage.audit");
-        let audit = audit(&module, config.defenses);
+        let audit =
+            audit_backend(&module, backend, config.defenses).map_err(PipelineError::AuditFailed)?;
         metrics.audit_ns = stage.elapsed().as_nanos() as u64;
         drop(trace_span);
 
         let stage = Instant::now();
         let trace_span = pibe_trace::span("stage.size");
-        let size = ImageSize::of(&module, config.defenses);
+        let size = ImageSize::of(&module, backend, config.defenses);
         metrics.size_ns = stage.elapsed().as_nanos() as u64;
         drop(trace_span);
 
@@ -851,6 +866,27 @@ mod tests {
         assert!(img.audit.vulnerable_icalls > 0, "paravirt icalls remain");
         assert_eq!(img.audit.vulnerable_returns, 0);
         assert!(img.audit.boot_returns > 0);
+    }
+
+    #[test]
+    fn hardware_cfi_arch_keeps_and_protects_jump_tables() {
+        let (k, p) = profiled_kernel();
+        let x86 = build_image(&k.module, &p, &PibeConfig::lto_with(DefenseSet::ALL));
+        for arch in [pibe_harden::Arch::Arm64, pibe_harden::Arch::Riscv64] {
+            let cfg = PibeConfig::lto_with(DefenseSet::ALL).with_arch(arch);
+            let img = build_image(&k.module, &p, &cfg);
+            assert_eq!(
+                img.harden_report.jump_tables_disabled, 0,
+                "{arch:?}: landing pads cover table targets, tables stay"
+            );
+            assert!(img.audit.protected_ijumps > 0, "{arch:?}");
+            assert_eq!(img.audit.vulnerable_ijumps, 0, "{arch:?}");
+            assert_eq!(img.audit.vulnerable_returns, 0, "{arch:?}");
+            assert!(
+                img.size.bytes < x86.size.bytes,
+                "{arch:?}: hardware CFI is lighter than retpoline thunks"
+            );
+        }
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub use fixture::{from_text, to_text, FixtureError};
 pub use gen::{
     build_module, gen_case, generate_plans, plans, Case, FnPlan, GenConfig, ResolverSpec,
 };
-pub use oracle::{oracle_config, profile_case, run_oracle, Divergence, OracleReport, Sabotage};
+pub use oracle::{
+    oracle_config, oracle_config_for, profile_case, run_oracle, run_oracle_at, Divergence,
+    OracleReport, Sabotage,
+};
 pub use shrink::{shrink, ShrinkStats};
 pub use trace::{project, run_trace, Obs, Outcome, Projection};

@@ -14,7 +14,7 @@
 use crate::gen::Case;
 use crate::trace::{project, run_trace, Obs, Projection};
 use pibe::{Image, PibeConfig, SemanticCorruption, Stage};
-use pibe_harden::DefenseSet;
+use pibe_harden::{Arch, DefenseSet};
 use pibe_ir::Module;
 use pibe_sim::{SimConfig, Simulator};
 use std::cell::RefCell;
@@ -77,9 +77,21 @@ pub struct OracleReport {
 
 /// The pipeline configuration the oracle exercises: the paper's best
 /// optimization configuration, every defense, and DCE — the widest possible
-/// stage coverage.
+/// stage coverage. The defense backend follows `PIBE_ARCH` so the whole
+/// difftest suite runs per-arch in the CI matrix.
 pub fn oracle_config() -> PibeConfig {
-    PibeConfig::lax(DefenseSet::ALL).with_dce(true)
+    oracle_config_for(Arch::from_env())
+}
+
+/// [`oracle_config`] pinned to an explicit defense backend, for windows
+/// that sweep every arch in one process regardless of the environment.
+pub fn oracle_config_for(arch: Arch) -> PibeConfig {
+    PibeConfig::builder()
+        .lax()
+        .defenses(DefenseSet::ALL)
+        .dce(true)
+        .arch(arch)
+        .build()
 }
 
 /// Step budget for the profiling runs (mirrors the trace budget).
@@ -134,13 +146,23 @@ fn first_mismatch(expected: &[Obs], actual: &[Obs]) -> Option<usize> {
     Some(i)
 }
 
-/// Runs the differential oracle on `case`.
+/// Runs the differential oracle on `case` under the `PIBE_ARCH` backend.
 ///
 /// With `sabotage: None` this must pass for every healthy case — a failure
 /// is a real semantics-preservation bug in a pipeline stage. With a sabotage
 /// the oracle is expected to *catch* the corruption (the chaos hook produces
 /// valid-but-wrong IR that slips past the structural verifier by design).
 pub fn run_oracle(case: &Case, sabotage: Option<Sabotage>) -> Result<OracleReport, Divergence> {
+    run_oracle_at(case, sabotage, Arch::from_env())
+}
+
+/// [`run_oracle`] pinned to an explicit defense backend: the per-arch fuzz
+/// window runs every backend from one process.
+pub fn run_oracle_at(
+    case: &Case,
+    sabotage: Option<Sabotage>,
+    arch: Arch,
+) -> Result<OracleReport, Divergence> {
     case.module
         .verify()
         .map_err(|e| Divergence::Build(format!("baseline module invalid: {e}")))?;
@@ -153,7 +175,7 @@ pub fn run_oracle(case: &Case, sabotage: Option<Sabotage>) -> Result<OracleRepor
     };
     let mut builder = Image::builder(&case.module)
         .profile(&profile)
-        .config(oracle_config())
+        .config(oracle_config_for(arch))
         .observe_stages(&observer);
     if let Some((stage, fault, seed)) = sabotage {
         builder = builder.inject_semantic_fault(stage, fault, seed);

@@ -5,7 +5,8 @@
 //! window; a soak run just sets a bigger `PIBE_DIFFTEST_SEEDS` (see
 //! EXPERIMENTS.md, "Running the difftest fuzzer").
 
-use pibe_difftest::{fixture, gen_case, run_oracle, GenConfig};
+use pibe_difftest::{fixture, gen_case, run_oracle, run_oracle_at, GenConfig};
+use pibe_harden::Arch;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -34,4 +35,33 @@ fn every_pipeline_stage_is_trace_equivalent_over_the_seed_window() {
         events > count as usize,
         "the window produced suspiciously few observable events"
     );
+}
+
+/// The same oracle under every non-default defense backend, over a window
+/// an order of magnitude smaller than the x86 one (the transform is the
+/// identity for hardware CFI, so the stages under test are ICP, inlining,
+/// and DCE interacting with the backend-keyed pipeline).
+#[test]
+fn every_backend_is_trace_equivalent_over_the_seed_window() {
+    let base = env_u64("PIBE_DIFFTEST_BASE", 0);
+    let count = env_u64("PIBE_DIFFTEST_SEEDS", 500).div_ceil(10).max(1);
+    let cfg = GenConfig::default();
+    for arch in [Arch::Arm64, Arch::Riscv64, Arch::Riscv64Nop] {
+        let mut events = 0usize;
+        for seed in base..base + count {
+            let case = gen_case(seed, &cfg);
+            match run_oracle_at(&case, None, arch) {
+                Ok(report) => events += report.events,
+                Err(d) => panic!(
+                    "seed {seed} diverged on {}: {d}\n\nreplayable fixture:\n{}",
+                    arch.name(),
+                    fixture::to_text(
+                        &case,
+                        &format!("diverging seed {seed} on {}: {d}", arch.name())
+                    )
+                ),
+            }
+        }
+        assert!(events > 0, "{} window observed no events", arch.name());
+    }
 }

@@ -8,9 +8,11 @@
 //! assembly-level indirect jumps. Inlining duplicates the former, so the
 //! vulnerable count *grows* with the optimization budget.
 
+use crate::backend::DefenseBackend;
 use crate::DefenseSet;
 use pibe_ir::{Inst, Module, Terminator};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Static classification of every indirect branch in an image.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -25,6 +27,10 @@ pub struct SecurityAudit {
     /// Indirect jumps left vulnerable ("Vuln. IJumps"): jump tables that
     /// survived hardening, and every jump table when no defense is enabled.
     pub vulnerable_ijumps: u64,
+    /// Surviving jump tables whose targets are covered by landing pads —
+    /// only hardware-CFI backends (ARM BTI, RISC-V Zicfilp) keep tables
+    /// *and* protect them; always 0 on x86.
+    pub protected_ijumps: u64,
     /// Returns protected by a backward-edge defense.
     pub protected_returns: u64,
     /// Returns left vulnerable (every return when no backward-edge defense
@@ -35,7 +41,53 @@ pub struct SecurityAudit {
     pub boot_returns: u64,
 }
 
-/// Classifies every static indirect branch of `module` under `defenses`.
+/// A branch the auditor could not classify: evidence that the image was
+/// hardened with a different backend (or defense set) than it is being
+/// audited against. Each variant names the offending function and site so
+/// the mismatch points at the culprit instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// A re-lowerable jump table survived in a non-inline-assembly
+    /// function although the backend's transform semantics disable jump
+    /// tables under the audited defenses — the transform was either never
+    /// run or run under a different backend.
+    UnloweredJumpTable {
+        /// Name of the function still dispatching through a table.
+        function: String,
+        /// Index of the block whose switch kept its table.
+        block: usize,
+        /// The backend the audit ran under.
+        backend: &'static str,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::UnloweredJumpTable {
+                function,
+                block,
+                backend,
+            } => write!(
+                f,
+                "function `{function}` block {block} still dispatches through \
+                 a jump table, but the {backend} backend re-lowers tables under \
+                 the audited defenses — the image was hardened with a different \
+                 backend or defense set"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Classifies every static indirect branch of `module` under `defenses`,
+/// with the legacy x86 rules.
+///
+/// This is the lenient pre-backend entry point: a surviving jump table is
+/// *counted vulnerable* rather than reported as a backend mismatch, so it
+/// stays infallible. The pipeline audits through [`audit_backend`], which
+/// returns a typed [`AuditError`] instead.
 pub fn audit(module: &Module, defenses: DefenseSet) -> SecurityAudit {
     let mut a = SecurityAudit {
         defenses,
@@ -72,6 +124,74 @@ pub fn audit(module: &Module, defenses: DefenseSet) -> SecurityAudit {
         }
     }
     a
+}
+
+/// Classifies every static indirect branch of `module` under `defenses`
+/// with `backend`'s auditor rules.
+///
+/// Differences from the legacy [`audit`]: surviving jump tables are
+/// *protected* when the backend covers their targets with landing pads
+/// ([`DefenseBackend::protects_jump_tables`]); and a table that should
+/// have been re-lowered — a non-inline-asm switch with `via_table` under a
+/// backend whose transform disables tables — is a typed
+/// [`AuditError::UnloweredJumpTable`] naming the function and block,
+/// because it means the image was hardened with a *different* backend than
+/// it is audited against.
+///
+/// # Errors
+/// [`AuditError::UnloweredJumpTable`] on the backend mismatch above. For
+/// an image produced by [`apply_with`](crate::apply_with) under the same
+/// backend and defenses, the audit always succeeds (the
+/// auditor-accepts-own-transform conformance law).
+pub fn audit_backend(
+    module: &Module,
+    backend: &dyn DefenseBackend,
+    defenses: DefenseSet,
+) -> Result<SecurityAudit, AuditError> {
+    let mut a = SecurityAudit {
+        defenses,
+        ..SecurityAudit::default()
+    };
+    for f in module.functions() {
+        let attrs = f.attrs();
+        for (i, block) in f.blocks().iter().enumerate() {
+            for inst in &block.insts {
+                if let Inst::CallIndirect { asm, .. } = inst {
+                    if *asm || !backend.hardens_forward(defenses) {
+                        a.vulnerable_icalls += 1;
+                    } else {
+                        a.protected_icalls += 1;
+                    }
+                }
+            }
+            match &block.term {
+                Terminator::Switch { via_table, .. } if *via_table => {
+                    if backend.protects_jump_tables(defenses) {
+                        a.protected_ijumps += 1;
+                    } else if backend.disables_jump_tables(defenses) && !attrs.inline_asm {
+                        return Err(AuditError::UnloweredJumpTable {
+                            function: f.name().to_string(),
+                            block: i,
+                            backend: backend.name(),
+                        });
+                    } else {
+                        a.vulnerable_ijumps += 1;
+                    }
+                }
+                Terminator::Return => {
+                    if attrs.boot_only {
+                        a.boot_returns += 1;
+                    } else if backend.hardens_backward(defenses) {
+                        a.protected_returns += 1;
+                    } else {
+                        a.vulnerable_returns += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(a)
 }
 
 #[cfg(test)]

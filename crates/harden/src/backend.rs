@@ -1,0 +1,749 @@
+//! Architecture defense backends.
+//!
+//! The paper evaluates PIBE against the x86 retpoline family only; this
+//! module generalises the hardening API over a [`DefenseBackend`] trait so
+//! the same pipeline, budget logic, and simulator can answer ROADMAP item
+//! 2's question: *does profile-guided elision still matter when the
+//! residual defense is cheap hardware CFI?*
+//!
+//! A backend bundles three things:
+//!
+//! 1. **cost model** — per-branch-kind cycle deltas
+//!    ([`DefenseBackend::forward_delta`] / [`DefenseBackend::return_delta`])
+//!    and byte deltas the size model charges;
+//! 2. **transform semantics** — which branch kinds get instrumented and
+//!    whether jump-table lowering must be disabled
+//!    ([`DefenseBackend::disables_jump_tables`]);
+//! 3. **auditor / attack rules** — which attack classes the instrumented
+//!    branches are actually protected against.
+//!
+//! The three [`DefenseSet`] flags keep their serialized shape but are
+//! *interpreted* by the backend: `retpolines` selects the backend's primary
+//! forward-edge defense, `ret_retpolines` its backward-edge defense, and
+//! `lvi_cfi` its auxiliary fence/speculation-barrier hardening. On
+//! [`Arch::X86`] (the default everywhere) every constant and every
+//! serialized configuration means exactly what it meant before this module
+//! existed.
+
+use crate::{costs, listings, DefenseSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Target architecture whose hardware defense family backs the image.
+///
+/// `Arch` is the *serializable selector* for a [`DefenseBackend`]: it is
+/// `Copy + Eq + Hash`, lives inside `PibeConfig` (and therefore inside the
+/// image farm's content key), and resolves to a `&'static dyn
+/// DefenseBackend` via [`Arch::backend`].
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Arch {
+    /// x86-64 with the paper's retpoline / return-retpoline / LVI-CFI
+    /// software sequences (Table 1 cost model). The default: all existing
+    /// constants and serialized configs keep meaning the same thing.
+    #[default]
+    X86,
+    /// AArch64 with BTI forward-edge landing pads and PAC-ret return-address
+    /// signing (Camouflage-style hardware CFI cost model).
+    Arm64,
+    /// RISC-V with Zicfilp landing pads and the Zicfiss shadow stack,
+    /// *enforced* by hardware.
+    Riscv64,
+    /// The same RISC-V CFI binary executing on hardware **without**
+    /// Zicfilp/Zicfiss: the instructions sit in the hint encoding space and
+    /// execute as NOPs — graceful degradation. Identical image bytes, zero
+    /// cycle cost, zero protection.
+    Riscv64Nop,
+}
+
+impl Arch {
+    /// Every backend, including the graceful-degradation variant.
+    pub const ALL: [Arch; 4] = [Arch::X86, Arch::Arm64, Arch::Riscv64, Arch::Riscv64Nop];
+
+    /// The three architectures of the cross-arch evaluation.
+    pub const EVALUATED: [Arch; 3] = [Arch::X86, Arch::Arm64, Arch::Riscv64];
+
+    /// The backend implementing this architecture's defense family.
+    pub fn backend(self) -> &'static dyn DefenseBackend {
+        match self {
+            Arch::X86 => &X86_RETPOLINE,
+            Arch::Arm64 => &ARM_PAC_BTI,
+            Arch::Riscv64 => &RISCV_CFI,
+            Arch::Riscv64Nop => &RISCV_CFI_NOP,
+        }
+    }
+
+    /// Canonical display name (also what [`Arch::from_str`] accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::X86 => "x86_64",
+            Arch::Arm64 => "arm64",
+            Arch::Riscv64 => "riscv64",
+            Arch::Riscv64Nop => "riscv64-nop",
+        }
+    }
+
+    /// Reads the `PIBE_ARCH` environment override, defaulting to
+    /// [`Arch::X86`] when unset.
+    ///
+    /// # Panics
+    /// Panics when `PIBE_ARCH` is set to an unknown name — a typo in a CI
+    /// matrix leg should fail loudly, not silently fall back to x86.
+    pub fn from_env() -> Arch {
+        match std::env::var("PIBE_ARCH") {
+            Ok(s) => s
+                .parse()
+                .unwrap_or_else(|e: String| panic!("PIBE_ARCH: {e}")),
+            Err(_) => Arch::X86,
+        }
+    }
+}
+
+impl FromStr for Arch {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Arch, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "x86" | "x86_64" | "x86-64" | "amd64" => Ok(Arch::X86),
+            "arm64" | "aarch64" => Ok(Arch::Arm64),
+            "riscv64" | "riscv" => Ok(Arch::Riscv64),
+            "riscv64-nop" | "riscv64_nop" | "riscv-nop" => Ok(Arch::Riscv64Nop),
+            other => Err(format!(
+                "unknown architecture {other:?} (expected one of \
+                 x86_64, arm64, riscv64, riscv64-nop)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One architecture's defense family: cost model, transform semantics, and
+/// auditor/attack rules, all keyed by the [`DefenseSet`] selection.
+///
+/// The trait is object safe; implementations are zero-sized statics
+/// resolved through [`Arch::backend`]. Contract (checked by the
+/// backend-conformance suite in `tests/backend_conformance.rs`):
+///
+/// * **zero cost on [`DefenseSet::NONE`]** — every delta and byte method
+///   returns 0;
+/// * **monotone under defense union** — enabling more defenses never
+///   lowers a cost;
+/// * **transform idempotence** — applying the backend's transform twice
+///   changes nothing the second time;
+/// * **auditor accepts its own transform** — auditing right after the
+///   transform never returns an [`AuditError`](crate::audit::AuditError).
+pub trait DefenseBackend: fmt::Debug + Sync {
+    /// The architecture selector resolving to this backend.
+    fn arch(&self) -> Arch;
+
+    /// Short backend name for reports and labels.
+    fn name(&self) -> &'static str;
+
+    // --- cost model -----------------------------------------------------
+
+    /// Extra cycles per *executed* hardened indirect call (or protected
+    /// indirect jump) under `d`.
+    fn forward_delta(&self, d: DefenseSet) -> u64;
+
+    /// Extra cycles per *executed* hardened return under `d`.
+    fn return_delta(&self, d: DefenseSet) -> u64;
+
+    /// Extra model bytes per *static* instrumented indirect call site.
+    fn forward_site_bytes(&self, d: DefenseSet) -> u32;
+
+    /// Extra model bytes per *static* instrumented return site.
+    fn return_site_bytes(&self, d: DefenseSet) -> u32;
+
+    /// Bytes of shared thunk code added once per image, if the backend
+    /// routes any defense through a thunk.
+    fn shared_thunk_bytes(&self, d: DefenseSet) -> u64;
+
+    // --- transform semantics -------------------------------------------
+
+    /// True when `d` instruments forward edges (indirect calls).
+    fn hardens_forward(&self, d: DefenseSet) -> bool;
+
+    /// True when `d` instruments backward edges (returns).
+    fn hardens_backward(&self, d: DefenseSet) -> bool;
+
+    /// True when enabling `d` forces jump-table re-lowering (the x86
+    /// behaviour, §5.1). Hardware-CFI backends cover table targets with
+    /// landing pads instead and keep the tables.
+    fn disables_jump_tables(&self, d: DefenseSet) -> bool;
+
+    // --- auditor / attack rules ----------------------------------------
+
+    /// True when hardened forward edges *inhibit speculation* entirely (no
+    /// BTB involvement, the retpoline behaviour). Hardware CFI constrains
+    /// targets without serialising, so prediction — and misprediction —
+    /// still happens.
+    fn inhibits_forward_speculation(&self, d: DefenseSet) -> bool;
+
+    /// True when hardened returns inhibit RSB-based speculation.
+    fn inhibits_return_speculation(&self, d: DefenseSet) -> bool;
+
+    /// True when an instrumented indirect call cannot be hijacked by BTB
+    /// poisoning (Spectre V2) under `d`.
+    fn spectre_v2_safe(&self, d: DefenseSet) -> bool;
+
+    /// True when an instrumented return cannot be hijacked by RSB
+    /// poisoning (Ret2spec) under `d`.
+    fn ret2spec_safe(&self, d: DefenseSet) -> bool;
+
+    /// True when surviving jump-table dispatches are protected (landing
+    /// pads constrain their targets). Always false on x86, where tables
+    /// are re-lowered instead and any survivor is attack surface.
+    fn protects_jump_tables(&self, d: DefenseSet) -> bool;
+
+    /// True when Load Value Injection is part of this architecture's
+    /// threat model at all (an Intel-specific microarchitectural attack).
+    fn lvi_applicable(&self) -> bool;
+
+    /// True when `d` fences the target loads of indirect transfers
+    /// (the LVI mitigation on x86; vacuous elsewhere).
+    fn fences_loads(&self, d: DefenseSet) -> bool;
+
+    // --- listings / display --------------------------------------------
+
+    /// The assembly sequence instrumented forward edges carry, if any.
+    fn forward_listing(&self, d: DefenseSet) -> Option<&'static str>;
+
+    /// The assembly sequence instrumented returns carry, if any.
+    fn backward_listing(&self, d: DefenseSet) -> Option<&'static str>;
+
+    /// Human label of the selection under this backend's interpretation
+    /// (e.g. `retpolines+lvi-cfi` on x86, `bti+pac-ret` on arm64).
+    fn defense_label(&self, d: DefenseSet) -> String;
+
+    // --- derived --------------------------------------------------------
+
+    /// Total model bytes of `module` once hardened with `d` under this
+    /// backend: base code plus per-site sequences plus shared thunks.
+    /// Inline-assembly indirect calls are never instrumented and add
+    /// nothing.
+    fn hardened_image_bytes(&self, module: &pibe_ir::Module, d: DefenseSet) -> u64 {
+        use pibe_ir::{Inst, Terminator};
+        let mut bytes = module.code_bytes() + self.shared_thunk_bytes(d);
+        for f in module.functions() {
+            for block in f.blocks() {
+                for inst in &block.insts {
+                    if let Inst::CallIndirect { asm: false, .. } = inst {
+                        bytes += u64::from(self.forward_site_bytes(d));
+                    }
+                }
+                if matches!(block.term, Terminator::Return) {
+                    bytes += u64::from(self.return_site_bytes(d));
+                }
+            }
+        }
+        bytes
+    }
+}
+
+/// The x86 retpoline family of the paper — [`Arch::X86`]'s backend.
+pub static X86_RETPOLINE: X86RetpolineBackend = X86RetpolineBackend;
+/// ARM PAC/BTI hardware CFI — [`Arch::Arm64`]'s backend.
+pub static ARM_PAC_BTI: ArmPacBtiBackend = ArmPacBtiBackend;
+/// RISC-V Zicfilp/Zicfiss, enforced — [`Arch::Riscv64`]'s backend.
+pub static RISCV_CFI: RiscvCfiBackend = RiscvCfiBackend {
+    nop_on_unsupported: false,
+};
+/// RISC-V Zicfilp/Zicfiss on non-CFI hardware — [`Arch::Riscv64Nop`]'s
+/// backend: same transform and bytes, zero cycles, zero protection.
+pub static RISCV_CFI_NOP: RiscvCfiBackend = RiscvCfiBackend {
+    nop_on_unsupported: true,
+};
+
+/// The paper's x86 defense family: retpolines, return retpolines, LVI-CFI,
+/// and the combined fenced sequences. Delegates to the Table 1 cost tables
+/// in [`costs`], the selection semantics on [`DefenseSet`], and the
+/// Listings 4–7 text in [`listings`] — this backend *is* the pre-trait
+/// behaviour, bit for bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct X86RetpolineBackend;
+
+impl DefenseBackend for X86RetpolineBackend {
+    fn arch(&self) -> Arch {
+        Arch::X86
+    }
+
+    fn name(&self) -> &'static str {
+        "x86-retpoline"
+    }
+
+    fn forward_delta(&self, d: DefenseSet) -> u64 {
+        costs::forward_delta(d)
+    }
+
+    fn return_delta(&self, d: DefenseSet) -> u64 {
+        costs::return_delta(d)
+    }
+
+    fn forward_site_bytes(&self, d: DefenseSet) -> u32 {
+        costs::forward_site_bytes(d)
+    }
+
+    fn return_site_bytes(&self, d: DefenseSet) -> u32 {
+        costs::return_site_bytes(d)
+    }
+
+    fn shared_thunk_bytes(&self, d: DefenseSet) -> u64 {
+        costs::shared_thunk_bytes(d)
+    }
+
+    fn hardens_forward(&self, d: DefenseSet) -> bool {
+        d.hardens_forward()
+    }
+
+    fn hardens_backward(&self, d: DefenseSet) -> bool {
+        d.hardens_backward()
+    }
+
+    fn disables_jump_tables(&self, d: DefenseSet) -> bool {
+        d.disables_jump_tables()
+    }
+
+    fn inhibits_forward_speculation(&self, d: DefenseSet) -> bool {
+        // Both the retpoline and the LVI fence serialise the transfer: no
+        // BTB involvement at all on hardened forward edges.
+        d.hardens_forward()
+    }
+
+    fn inhibits_return_speculation(&self, d: DefenseSet) -> bool {
+        d.hardens_backward()
+    }
+
+    fn spectre_v2_safe(&self, d: DefenseSet) -> bool {
+        // The lfence alone does not stop BTB-steered speculation (§6.4):
+        // only the retpoline captures it.
+        d.retpolines
+    }
+
+    fn ret2spec_safe(&self, d: DefenseSet) -> bool {
+        d.ret_retpolines
+    }
+
+    fn protects_jump_tables(&self, _d: DefenseSet) -> bool {
+        // x86 re-lowers tables instead; any survivor is attack surface.
+        false
+    }
+
+    fn lvi_applicable(&self) -> bool {
+        true
+    }
+
+    fn fences_loads(&self, d: DefenseSet) -> bool {
+        d.lvi_cfi
+    }
+
+    fn forward_listing(&self, d: DefenseSet) -> Option<&'static str> {
+        listings::forward_listing(d)
+    }
+
+    fn backward_listing(&self, d: DefenseSet) -> Option<&'static str> {
+        listings::backward_listing(d)
+    }
+
+    fn defense_label(&self, d: DefenseSet) -> String {
+        d.to_string()
+    }
+
+    fn hardened_image_bytes(&self, module: &pibe_ir::Module, d: DefenseSet) -> u64 {
+        costs::hardened_image_bytes(module, d)
+    }
+}
+
+/// ARM PAC/BTI hardware CFI with a Camouflage-style elision cost model.
+///
+/// Interpretation of the [`DefenseSet`] flags: `retpolines` → **BTI**
+/// landing pads on indirect-branch targets (`bti c`), `ret_retpolines` →
+/// **PAC-ret** return-address signing (`paciasp`/`autiasp`), `lvi_cfi` →
+/// ARMv8.5 **`sb`** speculation barriers on both edges.
+///
+/// Cost provenance: Camouflage (PAC-based kernel CFI) measures pointer
+/// authentication at roughly 2–5 cycles per sign/authenticate pair on
+/// QARMA-pipelined cores — modelled as 4 cycles per return; a BTI pad is a
+/// single hint-space instruction, one front-end slot — modelled as 1
+/// cycle; the `sb` barrier drains the front end like a short `lfence` —
+/// modelled as 8 cycles. The order-of-magnitude gap to the retpoline
+/// family (1–4 vs 21–41 cycles) is the point of the cross-arch
+/// experiment, not the exact figures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArmPacBtiBackend;
+
+impl DefenseBackend for ArmPacBtiBackend {
+    fn arch(&self) -> Arch {
+        Arch::Arm64
+    }
+
+    fn name(&self) -> &'static str {
+        "arm-pac-bti"
+    }
+
+    fn forward_delta(&self, d: DefenseSet) -> u64 {
+        match (d.retpolines, d.lvi_cfi) {
+            (false, false) => 0,
+            (true, false) => 1, // one bti pad in the target's front end
+            (false, true) => 8, // sb barrier at the site
+            (true, true) => 9,
+        }
+    }
+
+    fn return_delta(&self, d: DefenseSet) -> u64 {
+        match (d.ret_retpolines, d.lvi_cfi) {
+            (false, false) => 0,
+            (true, false) => 4, // paciasp + autiasp
+            (false, true) => 8, // sb before the ret
+            (true, true) => 12,
+        }
+    }
+
+    fn forward_site_bytes(&self, d: DefenseSet) -> u32 {
+        // Fixed 4-byte A64 encodings: a `bti c` pad and/or an `sb`.
+        match (d.retpolines, d.lvi_cfi) {
+            (false, false) => 0,
+            (true, false) | (false, true) => 4,
+            (true, true) => 8,
+        }
+    }
+
+    fn return_site_bytes(&self, d: DefenseSet) -> u32 {
+        match (d.ret_retpolines, d.lvi_cfi) {
+            (false, false) => 0,
+            (true, false) => 8, // paciasp in the prologue + autiasp before ret
+            (false, true) => 4, // sb
+            (true, true) => 12,
+        }
+    }
+
+    fn shared_thunk_bytes(&self, _d: DefenseSet) -> u64 {
+        0 // no thunks: every sequence is inlined at the site
+    }
+
+    fn hardens_forward(&self, d: DefenseSet) -> bool {
+        d.retpolines || d.lvi_cfi
+    }
+
+    fn hardens_backward(&self, d: DefenseSet) -> bool {
+        d.ret_retpolines || d.lvi_cfi
+    }
+
+    fn disables_jump_tables(&self, _d: DefenseSet) -> bool {
+        // BTI pads cover jump-table targets; the tables stay.
+        false
+    }
+
+    fn inhibits_forward_speculation(&self, _d: DefenseSet) -> bool {
+        // BTI constrains targets architecturally without serialising: the
+        // branch predictor keeps working (and keeps paying misses).
+        false
+    }
+
+    fn inhibits_return_speculation(&self, _d: DefenseSet) -> bool {
+        false
+    }
+
+    fn spectre_v2_safe(&self, d: DefenseSet) -> bool {
+        d.retpolines // BTI: a poisoned target must still be a landing pad
+    }
+
+    fn ret2spec_safe(&self, d: DefenseSet) -> bool {
+        d.ret_retpolines // PAC: a forged return address fails to authenticate
+    }
+
+    fn protects_jump_tables(&self, d: DefenseSet) -> bool {
+        d.retpolines
+    }
+
+    fn lvi_applicable(&self) -> bool {
+        false // LVI is an Intel-specific microarchitectural attack
+    }
+
+    fn fences_loads(&self, d: DefenseSet) -> bool {
+        d.lvi_cfi
+    }
+
+    fn forward_listing(&self, d: DefenseSet) -> Option<&'static str> {
+        match (d.retpolines, d.lvi_cfi) {
+            (false, false) => None,
+            (true, false) => Some(listings::ARM_BTI),
+            (false, true) => Some(listings::ARM_SB_FORWARD),
+            (true, true) => Some(listings::ARM_BTI_SB),
+        }
+    }
+
+    fn backward_listing(&self, d: DefenseSet) -> Option<&'static str> {
+        match (d.ret_retpolines, d.lvi_cfi) {
+            (false, false) => None,
+            (true, false) => Some(listings::ARM_PAC_RET),
+            (false, true) => Some(listings::ARM_SB_BACKWARD),
+            (true, true) => Some(listings::ARM_PAC_RET_SB),
+        }
+    }
+
+    fn defense_label(&self, d: DefenseSet) -> String {
+        label(d, "bti", "pac-ret", "sb")
+    }
+}
+
+/// RISC-V Zicfilp landing pads + Zicfiss shadow stack.
+///
+/// Interpretation of the [`DefenseSet`] flags: `retpolines` → **Zicfilp**
+/// landing pads (`lpad`) on indirect-branch targets, `ret_retpolines` →
+/// the **Zicfiss** shadow stack (`sspush`/`sspopchk`), `lvi_cfi` →
+/// `fence`-based speculation barriers on both edges.
+///
+/// Cost provenance: both extensions are designed for near-zero overhead —
+/// the `lpad` label check retires in the front end (modelled as 1 cycle)
+/// and the shadow-stack push/pop-check pair is two short memory ops
+/// against a hot cache line (modelled as 2 cycles); a full `fence` is
+/// modelled at 10 cycles.
+///
+/// With [`RiscvCfiBackend::nop_on_unsupported`] set, the *same binary* is
+/// modelled on hardware without the extensions: both instructions sit in
+/// the hint encoding space and execute as NOPs, so every cycle delta is 0,
+/// no attack is stopped, and the image bytes are unchanged — the
+/// graceful-degradation deployment story.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RiscvCfiBackend {
+    /// Model execution on hardware without Zicfilp/Zicfiss: the CFI
+    /// instructions decode as NOPs (zero cost, zero protection, same
+    /// bytes).
+    pub nop_on_unsupported: bool,
+}
+
+impl DefenseBackend for RiscvCfiBackend {
+    fn arch(&self) -> Arch {
+        if self.nop_on_unsupported {
+            Arch::Riscv64Nop
+        } else {
+            Arch::Riscv64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.nop_on_unsupported {
+            "riscv-zicfi-nop"
+        } else {
+            "riscv-zicfi"
+        }
+    }
+
+    fn forward_delta(&self, d: DefenseSet) -> u64 {
+        if self.nop_on_unsupported {
+            return 0;
+        }
+        match (d.retpolines, d.lvi_cfi) {
+            (false, false) => 0,
+            (true, false) => 1,  // lpad label check
+            (false, true) => 10, // fence
+            (true, true) => 11,
+        }
+    }
+
+    fn return_delta(&self, d: DefenseSet) -> u64 {
+        if self.nop_on_unsupported {
+            return 0;
+        }
+        match (d.ret_retpolines, d.lvi_cfi) {
+            (false, false) => 0,
+            (true, false) => 2,  // sspush + sspopchk
+            (false, true) => 10, // fence
+            (true, true) => 12,
+        }
+    }
+
+    fn forward_site_bytes(&self, d: DefenseSet) -> u32 {
+        // The binary carries the instructions whether or not the hardware
+        // honours them — bytes are identical across the two variants.
+        match (d.retpolines, d.lvi_cfi) {
+            (false, false) => 0,
+            (true, false) | (false, true) => 4,
+            (true, true) => 8,
+        }
+    }
+
+    fn return_site_bytes(&self, d: DefenseSet) -> u32 {
+        match (d.ret_retpolines, d.lvi_cfi) {
+            (false, false) => 0,
+            (true, false) => 8, // sspush ra + sspopchk ra
+            (false, true) => 4,
+            (true, true) => 12,
+        }
+    }
+
+    fn shared_thunk_bytes(&self, _d: DefenseSet) -> u64 {
+        0
+    }
+
+    fn hardens_forward(&self, d: DefenseSet) -> bool {
+        d.retpolines || d.lvi_cfi
+    }
+
+    fn hardens_backward(&self, d: DefenseSet) -> bool {
+        d.ret_retpolines || d.lvi_cfi
+    }
+
+    fn disables_jump_tables(&self, _d: DefenseSet) -> bool {
+        false // lpad pads cover table targets
+    }
+
+    fn inhibits_forward_speculation(&self, _d: DefenseSet) -> bool {
+        false
+    }
+
+    fn inhibits_return_speculation(&self, _d: DefenseSet) -> bool {
+        false
+    }
+
+    fn spectre_v2_safe(&self, d: DefenseSet) -> bool {
+        !self.nop_on_unsupported && d.retpolines
+    }
+
+    fn ret2spec_safe(&self, d: DefenseSet) -> bool {
+        !self.nop_on_unsupported && d.ret_retpolines
+    }
+
+    fn protects_jump_tables(&self, d: DefenseSet) -> bool {
+        !self.nop_on_unsupported && d.retpolines
+    }
+
+    fn lvi_applicable(&self) -> bool {
+        false
+    }
+
+    fn fences_loads(&self, d: DefenseSet) -> bool {
+        !self.nop_on_unsupported && d.lvi_cfi
+    }
+
+    fn forward_listing(&self, d: DefenseSet) -> Option<&'static str> {
+        match (d.retpolines, d.lvi_cfi) {
+            (false, false) => None,
+            (true, false) => Some(listings::RISCV_LPAD),
+            (false, true) => Some(listings::RISCV_FENCE_FORWARD),
+            (true, true) => Some(listings::RISCV_LPAD_FENCE),
+        }
+    }
+
+    fn backward_listing(&self, d: DefenseSet) -> Option<&'static str> {
+        match (d.ret_retpolines, d.lvi_cfi) {
+            (false, false) => None,
+            (true, false) => Some(listings::RISCV_SHADOW_STACK),
+            (false, true) => Some(listings::RISCV_FENCE_BACKWARD),
+            (true, true) => Some(listings::RISCV_SHADOW_STACK_FENCE),
+        }
+    }
+
+    fn defense_label(&self, d: DefenseSet) -> String {
+        let l = label(d, "lpad", "shadow-stack", "fence");
+        if self.nop_on_unsupported && l != "none" {
+            format!("{l} (nop)")
+        } else {
+            l
+        }
+    }
+}
+
+/// Joins the per-flag names of an enabled selection, `"none"` when empty.
+fn label(d: DefenseSet, forward: &str, backward: &str, fence: &str) -> String {
+    if d.is_none() {
+        return "none".into();
+    }
+    let mut parts = Vec::new();
+    if d.retpolines {
+        parts.push(forward);
+    }
+    if d.ret_retpolines {
+        parts.push(backward);
+    }
+    if d.lvi_cfi {
+        parts.push(fence);
+    }
+    parts.join("+")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_resolves_to_its_backend_and_back() {
+        for arch in Arch::ALL {
+            assert_eq!(arch.backend().arch(), arch);
+            assert_eq!(arch.name().parse::<Arch>().unwrap(), arch);
+        }
+        assert!("sparc".parse::<Arch>().is_err());
+        assert_eq!(Arch::default(), Arch::X86);
+    }
+
+    #[test]
+    fn x86_backend_is_the_pretrait_cost_model() {
+        let b = Arch::X86.backend();
+        for d in DefenseSet::EVALUATED {
+            assert_eq!(b.forward_delta(d), costs::forward_delta(d));
+            assert_eq!(b.return_delta(d), costs::return_delta(d));
+            assert_eq!(b.forward_site_bytes(d), costs::forward_site_bytes(d));
+            assert_eq!(b.return_site_bytes(d), costs::return_site_bytes(d));
+            assert_eq!(b.shared_thunk_bytes(d), costs::shared_thunk_bytes(d));
+            assert_eq!(b.hardens_forward(d), d.hardens_forward());
+            assert_eq!(b.disables_jump_tables(d), d.disables_jump_tables());
+            assert_eq!(b.defense_label(d), d.to_string());
+        }
+    }
+
+    #[test]
+    fn hardware_cfi_is_an_order_of_magnitude_cheaper() {
+        let all = DefenseSet::ALL;
+        let x86 = Arch::X86.backend();
+        for arch in [Arch::Arm64, Arch::Riscv64] {
+            let hw = arch.backend();
+            assert!(hw.forward_delta(all) * 3 < x86.forward_delta(all));
+            assert!(hw.return_delta(all) * 2 < x86.return_delta(all));
+        }
+    }
+
+    #[test]
+    fn nop_variant_keeps_bytes_and_drops_cycles_and_protection() {
+        let enforced = Arch::Riscv64.backend();
+        let nop = Arch::Riscv64Nop.backend();
+        let all = DefenseSet::ALL;
+        assert_eq!(
+            nop.forward_site_bytes(all),
+            enforced.forward_site_bytes(all)
+        );
+        assert_eq!(nop.return_site_bytes(all), enforced.return_site_bytes(all));
+        assert_eq!(nop.forward_delta(all), 0);
+        assert_eq!(nop.return_delta(all), 0);
+        assert!(enforced.spectre_v2_safe(all) && !nop.spectre_v2_safe(all));
+        assert!(enforced.ret2spec_safe(all) && !nop.ret2spec_safe(all));
+    }
+
+    #[test]
+    fn labels_name_the_native_mechanisms() {
+        assert_eq!(
+            Arch::Arm64.backend().defense_label(DefenseSet::ALL),
+            "bti+pac-ret+sb"
+        );
+        assert_eq!(
+            Arch::Riscv64
+                .backend()
+                .defense_label(DefenseSet::RETPOLINES),
+            "lpad"
+        );
+        assert_eq!(
+            Arch::Riscv64Nop.backend().defense_label(DefenseSet::ALL),
+            "lpad+shadow-stack+fence (nop)"
+        );
+        assert_eq!(
+            Arch::Arm64.backend().defense_label(DefenseSet::NONE),
+            "none"
+        );
+    }
+}

@@ -24,6 +24,15 @@
 //! today: disabling jump-table lowering, which is "the default LLVM behavior
 //! when retpolines or LVI defenses are enabled", §5.1), and audits a
 //! hardened image for residual attack surface ([`audit()`], Table 11).
+//!
+//! ## Backends
+//!
+//! The x86 retpoline family above is one of several [`DefenseBackend`]s: the
+//! same [`DefenseSet`] selection is reinterpreted per architecture —
+//! [`ArmPacBtiBackend`] maps it onto BTI landing pads + PAC-ret signing,
+//! [`RiscvCfiBackend`] onto Zicfilp landing pads + a Zicfiss shadow stack.
+//! Each backend owns its per-branch cost model, transform semantics, and
+//! auditor rules; [`Arch`] names the backends and resolves the trait object.
 
 //!
 //! ## Example
@@ -52,11 +61,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod backend;
 pub mod costs;
 mod defense;
 pub mod listings;
 mod transform;
 
-pub use audit::{audit, SecurityAudit};
+pub use audit::{audit, audit_backend, AuditError, SecurityAudit};
+pub use backend::{
+    Arch, ArmPacBtiBackend, DefenseBackend, RiscvCfiBackend, X86RetpolineBackend, ARM_PAC_BTI,
+    RISCV_CFI, RISCV_CFI_NOP, X86_RETPOLINE,
+};
 pub use defense::DefenseSet;
-pub use transform::{apply, apply_threaded, HardenReport};
+pub use transform::{apply, apply_threaded, apply_with, HardenReport};

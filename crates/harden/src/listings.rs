@@ -69,6 +69,91 @@ jump:
   lea 8(%rsp), %rsp
   retq";
 
+// --- ARM PAC/BTI sequences (the `ArmPacBtiBackend`) ---------------------
+
+/// BTI forward-edge protection: the indirect branch itself is untouched;
+/// every legitimate target carries a `bti c` landing pad.
+pub const ARM_BTI: &str = "\
+blr x16
+target:
+  bti c";
+
+/// PAC-ret backward-edge protection: the return address is signed in the
+/// prologue and authenticated before the return.
+pub const ARM_PAC_RET: &str = "\
+paciasp
+...
+autiasp
+ret";
+
+/// ARMv8.5 speculation barrier before an indirect call.
+pub const ARM_SB_FORWARD: &str = "\
+sb
+blr x16";
+
+/// ARMv8.5 speculation barrier before a return.
+pub const ARM_SB_BACKWARD: &str = "\
+sb
+ret";
+
+/// BTI landing pad combined with the speculation barrier.
+pub const ARM_BTI_SB: &str = "\
+sb
+blr x16
+target:
+  bti c";
+
+/// PAC-ret combined with the speculation barrier.
+pub const ARM_PAC_RET_SB: &str = "\
+paciasp
+...
+autiasp
+sb
+ret";
+
+// --- RISC-V Zicfilp/Zicfiss sequences (the `RiscvCfiBackend`) -----------
+
+/// Zicfilp forward-edge protection: every indirect-branch target begins
+/// with an `lpad` label check (a hint-space NOP on non-CFI hardware).
+pub const RISCV_LPAD: &str = "\
+jalr ra, 0(t1)
+target:
+  lpad 0";
+
+/// Zicfiss backward-edge protection: the return address is pushed to the
+/// shadow stack on entry and checked on return (hint-space NOPs on non-CFI
+/// hardware).
+pub const RISCV_SHADOW_STACK: &str = "\
+sspush ra
+...
+sspopchk ra
+ret";
+
+/// Fence-based speculation barrier before an indirect call.
+pub const RISCV_FENCE_FORWARD: &str = "\
+fence
+jalr ra, 0(t1)";
+
+/// Fence-based speculation barrier before a return.
+pub const RISCV_FENCE_BACKWARD: &str = "\
+fence
+ret";
+
+/// Landing pad combined with the fence.
+pub const RISCV_LPAD_FENCE: &str = "\
+fence
+jalr ra, 0(t1)
+target:
+  lpad 0";
+
+/// Shadow stack combined with the fence.
+pub const RISCV_SHADOW_STACK_FENCE: &str = "\
+sspush ra
+...
+sspopchk ra
+fence
+ret";
+
 /// The forward-edge sequence a branch is rewritten to under `d`, if any.
 pub fn forward_listing(d: DefenseSet) -> Option<&'static str> {
     match (d.retpolines, d.lvi_cfi) {

@@ -1,5 +1,6 @@
 //! IR-level side effects of enabling defenses.
 
+use crate::backend::DefenseBackend;
 use crate::DefenseSet;
 use pibe_ir::{Module, Terminator};
 use serde::{Deserialize, Serialize};
@@ -42,11 +43,24 @@ pub fn apply(module: &mut Module, defenses: DefenseSet) -> HardenReport {
 /// results **in function-id order** — the report counts and the resulting
 /// module are bit-identical to the sequential path under any thread count.
 pub fn apply_threaded(module: &mut Module, defenses: DefenseSet, threads: usize) -> HardenReport {
+    apply_with(module, crate::Arch::X86.backend(), defenses, threads)
+}
+
+/// [`apply_threaded`] under an explicit [`DefenseBackend`]: the backend's
+/// transform semantics decide whether jump tables are re-lowered at all
+/// (hardware-CFI backends cover table targets with landing pads and keep
+/// the tables, so their transform is the identity).
+pub fn apply_with(
+    module: &mut Module,
+    backend: &dyn DefenseBackend,
+    defenses: DefenseSet,
+    threads: usize,
+) -> HardenReport {
     let mut report = HardenReport {
         defenses,
         ..HardenReport::default()
     };
-    if !defenses.disables_jump_tables() {
+    if !backend.disables_jump_tables(defenses) {
         return report;
     }
     if threads <= 1 {

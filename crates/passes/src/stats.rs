@@ -4,6 +4,7 @@
 
 use crate::icp::IcpStats;
 use crate::inliner::InlinerStats;
+use pibe_harden::{DefenseBackend, DefenseSet};
 
 /// Common accessors over the statistics either optimization pass returns.
 ///
@@ -24,6 +25,21 @@ pub trait PassStats {
 
     /// Sites the pass examined as candidates.
     fn candidate_sites(&self) -> u64;
+
+    /// The defense toll one transformed execution no longer pays under
+    /// `backend`: the hardened forward edge for ICP (a promoted call takes
+    /// a guarded direct call instead of the thunk), the hardened backward
+    /// edge for the inliner (an inlined call never returns).
+    fn elided_delta(&self, backend: &dyn DefenseBackend, defenses: DefenseSet) -> u64;
+
+    /// Estimated dynamic defense cycles the pass elided under `backend`:
+    /// the transformed weight times the per-execution toll it removed.
+    /// This is the budget logic's figure of merit — the number PIBE's
+    /// thesis says shrinks by an order of magnitude when the residual
+    /// defense is cheap hardware CFI instead of a retpoline family.
+    fn estimated_cycles_elided(&self, backend: &dyn DefenseBackend, defenses: DefenseSet) -> u64 {
+        self.transformed_weight() * self.elided_delta(backend, defenses)
+    }
 }
 
 impl PassStats for IcpStats {
@@ -42,6 +58,10 @@ impl PassStats for IcpStats {
     fn candidate_sites(&self) -> u64 {
         self.total_sites
     }
+
+    fn elided_delta(&self, backend: &dyn DefenseBackend, defenses: DefenseSet) -> u64 {
+        backend.forward_delta(defenses)
+    }
 }
 
 impl PassStats for InlinerStats {
@@ -59,6 +79,10 @@ impl PassStats for InlinerStats {
 
     fn candidate_sites(&self) -> u64 {
         self.candidate_sites
+    }
+
+    fn elided_delta(&self, backend: &dyn DefenseBackend, defenses: DefenseSet) -> u64 {
+        backend.return_delta(defenses)
     }
 }
 
@@ -89,5 +113,31 @@ mod tests {
         assert_eq!(inl.transformed_sites(), 2);
         assert_eq!(inl.transformed_weight(), 450);
         assert_eq!(PassStats::candidate_sites(&inl), 5);
+    }
+
+    #[test]
+    fn elided_cycles_scale_with_the_backend_cost_model() {
+        use pibe_harden::Arch;
+        let icp = IcpStats {
+            promoted_weight: 1000,
+            ..IcpStats::default()
+        };
+        let inl = InlinerStats {
+            inlined_weight: 1000,
+            ..InlinerStats::default()
+        };
+        let d = pibe_harden::DefenseSet::ALL;
+        let x86 = Arch::X86.backend();
+        let arm = Arch::Arm64.backend();
+        // x86: 41-cycle fenced retpolines / 32-cycle returns.
+        assert_eq!(icp.estimated_cycles_elided(x86, d), 41_000);
+        assert_eq!(inl.estimated_cycles_elided(x86, d), 32_000);
+        // ARM BTI+PAC: an order of magnitude less to elide — the
+        // cross-arch question the backend API exists to answer.
+        assert!(icp.estimated_cycles_elided(arm, d) * 4 < icp.estimated_cycles_elided(x86, d));
+        assert_eq!(
+            icp.estimated_cycles_elided(x86, pibe_harden::DefenseSet::NONE),
+            0
+        );
     }
 }

@@ -17,7 +17,7 @@
 //! hardened image shows zero hijackable executions apart from the
 //! inline-assembly paravirt sites.
 
-use pibe_harden::DefenseSet;
+use pibe_harden::{Arch, DefenseBackend, DefenseSet};
 use serde::{Deserialize, Serialize};
 
 /// Counts of attacker-hijackable dynamic branch executions.
@@ -75,12 +75,30 @@ impl AttackReport {
         jumpswitch: bool,
         eibrs: bool,
     ) {
+        self.observe_icall_backend(Arch::X86.backend(), defenses, asm, jumpswitch, eibrs)
+    }
+
+    /// [`AttackReport::observe_icall_with`] under an explicit
+    /// [`DefenseBackend`]: the backend decides what counts as Spectre-V2
+    /// protection (retpoline thunk, BTI/lpad target restriction) and
+    /// whether LVI is part of the architecture's threat model at all (it is
+    /// Intel-specific, so ARM/RISC-V backends never count LVI exposure).
+    pub fn observe_icall_backend(
+        &mut self,
+        backend: &dyn DefenseBackend,
+        defenses: DefenseSet,
+        asm: bool,
+        jumpswitch: bool,
+        eibrs: bool,
+    ) {
         if asm {
             self.btb_hijackable_icalls += 1;
-            self.lvi_injectable += 1;
+            if backend.lvi_applicable() {
+                self.lvi_injectable += 1;
+            }
             return;
         }
-        let spectre_v2_safe = defenses.retpolines || jumpswitch;
+        let spectre_v2_safe = backend.spectre_v2_safe(defenses) || jumpswitch;
         if !spectre_v2_safe {
             if eibrs {
                 self.btb_kernel_trained_icalls += 1;
@@ -88,7 +106,7 @@ impl AttackReport {
                 self.btb_hijackable_icalls += 1;
             }
         }
-        if !defenses.lvi_cfi {
+        if backend.lvi_applicable() && !backend.fences_loads(defenses) {
             self.lvi_injectable += 1;
         }
     }
@@ -99,6 +117,16 @@ impl AttackReport {
         self.btb_hijackable_ijumps += 1;
     }
 
+    /// [`AttackReport::observe_ijump`] under an explicit backend: a jump
+    /// table whose targets carry landing pads (ARM BTI, RISC-V Zicfilp)
+    /// restricts misspeculation to legitimate targets, so the execution is
+    /// not counted hijackable.
+    pub fn observe_ijump_backend(&mut self, backend: &dyn DefenseBackend, defenses: DefenseSet) {
+        if !backend.protects_jump_tables(defenses) {
+            self.btb_hijackable_ijumps += 1;
+        }
+    }
+
     /// Records one executed return. `rsb_refill` marks the kernel's
     /// RSB-stuffing mitigation; `rsb_overflowed` whether the RSB overflowed
     /// since kernel entry. Refilling blocks userspace-poisoned entries, but
@@ -107,10 +135,23 @@ impl AttackReport {
     /// scenarios are still possible under RSB refilling. Conversely, return
     /// retpolines defend against all known RSB poisoning scenarios" (§6.4).
     pub fn observe_return(&mut self, defenses: DefenseSet, rsb_refill: bool, rsb_overflowed: bool) {
-        if !defenses.ret_retpolines && (!rsb_refill || rsb_overflowed) {
+        self.observe_return_backend(Arch::X86.backend(), defenses, rsb_refill, rsb_overflowed)
+    }
+
+    /// [`AttackReport::observe_return`] under an explicit backend: PAC-ret
+    /// signing and the Zicfiss shadow stack count as Ret2spec protection
+    /// the way return retpolines do on x86.
+    pub fn observe_return_backend(
+        &mut self,
+        backend: &dyn DefenseBackend,
+        defenses: DefenseSet,
+        rsb_refill: bool,
+        rsb_overflowed: bool,
+    ) {
+        if !backend.ret2spec_safe(defenses) && (!rsb_refill || rsb_overflowed) {
             self.rsb_hijackable_rets += 1;
         }
-        if !defenses.lvi_cfi {
+        if backend.lvi_applicable() && !backend.fences_loads(defenses) {
             self.lvi_injectable += 1;
         }
     }
@@ -192,6 +233,32 @@ mod tests {
         let mut r = AttackReport::default();
         r.observe_icall_with(DefenseSet::RETPOLINES, false, false, true);
         assert_eq!(r.total() - r.lvi_injectable, 0);
+    }
+
+    #[test]
+    fn hardware_cfi_backends_cover_their_native_attacks() {
+        let mut r = AttackReport::default();
+        let arm = Arch::Arm64.backend();
+        r.observe_icall_backend(arm, DefenseSet::ALL, false, false, false);
+        r.observe_return_backend(arm, DefenseSet::ALL, false, false);
+        r.observe_ijump_backend(arm, DefenseSet::ALL);
+        assert!(
+            r.is_clean(),
+            "BTI+PAC cover every modelled attack; LVI is x86-only: {r:?}"
+        );
+
+        // The NOP-on-unsupported variant keeps the instructions but none of
+        // the enforcement: everything is exposed again (except LVI, which
+        // is not part of the RISC-V threat model).
+        let mut r = AttackReport::default();
+        let nop = Arch::Riscv64Nop.backend();
+        r.observe_icall_backend(nop, DefenseSet::ALL, false, false, false);
+        r.observe_return_backend(nop, DefenseSet::ALL, false, false);
+        r.observe_ijump_backend(nop, DefenseSet::ALL);
+        assert_eq!(r.btb_hijackable_icalls, 1);
+        assert_eq!(r.rsb_hijackable_rets, 1);
+        assert_eq!(r.btb_hijackable_ijumps, 1);
+        assert_eq!(r.lvi_injectable, 0);
     }
 
     #[test]

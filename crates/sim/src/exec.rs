@@ -2,7 +2,7 @@
 
 use crate::attack::AttackReport;
 use crate::machine::{Btb, ICache, MachineConfig, Rsb};
-use pibe_harden::{costs, DefenseSet};
+use pibe_harden::{costs, Arch, DefenseSet};
 use pibe_ir::size::Layout;
 use pibe_ir::{BlockId, Cond, FuncId, Inst, Module, OpKind, SiteId, Terminator};
 use pibe_profile::Profile;
@@ -174,6 +174,11 @@ pub struct SimConfig {
     pub machine: MachineConfig,
     /// Defenses the image is hardened with (costs charged per branch).
     pub defenses: DefenseSet,
+    /// The architecture whose [`DefenseBackend`](pibe_harden::DefenseBackend)
+    /// interprets `defenses`: per-branch cycle deltas and whether the
+    /// hardened sequence inhibits speculation (retpolines do; hardware-CFI
+    /// landing pads leave the predictors running).
+    pub arch: Arch,
     /// When set, indirect calls use the JumpSwitches runtime mechanism
     /// instead of static hardening (retpolines still back the slow path).
     pub jumpswitch: Option<JumpSwitchConfig>,
@@ -206,6 +211,7 @@ impl Default for SimConfig {
         SimConfig {
             machine: MachineConfig::default(),
             defenses: DefenseSet::NONE,
+            arch: Arch::X86,
             jumpswitch: None,
             eibrs: false,
             rsb_refill: false,
@@ -571,7 +577,8 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
                 }
                 self.charge_icall(site, target, asm);
                 if self.cfg.track_attacks {
-                    self.attacks.observe_icall_with(
+                    self.attacks.observe_icall_backend(
+                        self.cfg.arch.backend(),
                         self.cfg.defenses,
                         asm,
                         self.cfg.jumpswitch.is_some(),
@@ -625,13 +632,15 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
             self.charge_jumpswitch(js, site, target);
             return;
         }
-        if self.cfg.defenses.hardens_forward() {
-            // Hardened: fixed thunk cost, speculation inhibited — no BTB
-            // involvement at all.
-            let delta = costs::forward_delta(self.cfg.defenses);
-            self.stats.cycles += delta;
-            self.stats.cycles_defense += delta;
-        } else {
+        // The backend's per-call instrumentation toll (zero when the
+        // forward edge is unhardened), then the predictor: a retpoline
+        // thunk inhibits speculation entirely — no BTB involvement — while
+        // hardware-CFI landing pads leave the BTB running.
+        let backend = self.cfg.arch.backend();
+        let delta = backend.forward_delta(self.cfg.defenses);
+        self.stats.cycles += delta;
+        self.stats.cycles_defense += delta;
+        if !backend.inhibits_forward_speculation(self.cfg.defenses) {
             self.charge_btb(site, target);
         }
     }
@@ -757,6 +766,15 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
                     self.stats.ijumps += 1;
                     // Bounds check + indexed indirect jump, BTB-predicted.
                     self.stats.cycles += 2 * m.cycles_simple;
+                    let backend = self.cfg.arch.backend();
+                    if backend.protects_jump_tables(self.cfg.defenses) {
+                        // Landing pads cover the table targets: the jump
+                        // pays the backend's forward toll like any other
+                        // indirect branch.
+                        let delta = backend.forward_delta(self.cfg.defenses);
+                        self.stats.cycles += delta;
+                        self.stats.cycles_defense += delta;
+                    }
                     let frame = self.frames.last().expect("frame");
                     let (addr, _) = self.layout.block_range(frame.func, frame.block);
                     let (dest_addr, _) = self.layout.block_range(frame.func, dest);
@@ -765,7 +783,8 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
                         self.stats.cycles += m.btb_miss_penalty;
                     }
                     if self.cfg.track_attacks {
-                        self.attacks.observe_ijump();
+                        self.attacks
+                            .observe_ijump_backend(backend, self.cfg.defenses);
                     }
                 } else {
                     // Compare chain: one cmp+jcc per case tested.
@@ -785,17 +804,22 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
                     self.profile.record_return(frame.func);
                 }
                 if self.cfg.track_attacks {
-                    self.attacks.observe_return(
+                    self.attacks.observe_return_backend(
+                        self.cfg.arch.backend(),
                         self.cfg.defenses,
                         self.cfg.rsb_refill,
                         self.rsb_overflowed,
                     );
                 }
-                if self.cfg.defenses.hardens_backward() {
-                    // Fixed hardened-return cost; RSB speculation inhibited.
-                    let delta = costs::return_delta(self.cfg.defenses);
-                    self.stats.cycles += delta;
-                    self.stats.cycles_defense += delta;
+                // The backend's per-return toll (zero when unhardened),
+                // then the predictor: a return retpoline inhibits RSB
+                // speculation; PAC-ret / shadow-stack checks leave the RSB
+                // predicting as usual.
+                let backend = self.cfg.arch.backend();
+                let delta = backend.return_delta(self.cfg.defenses);
+                self.stats.cycles += delta;
+                self.stats.cycles_defense += delta;
+                if backend.inhibits_return_speculation(self.cfg.defenses) {
                     let _ = self.rsb.pop_and_check(frame.token);
                 } else if !self.rsb.pop_and_check(frame.token) {
                     self.stats.rsb_misses += 1;
@@ -914,6 +938,42 @@ mod tests {
         assert_eq!(retp - none, 21);
         // All: fwd 41 on the icall + ret 32 on each of 3 returns.
         assert_eq!(all - none, 41 + 3 * 32);
+    }
+
+    #[test]
+    fn backend_deltas_charge_per_arch_and_nop_charges_nothing() {
+        let (m, _s, root, leaf) = module();
+        let run = |arch: Arch, d: DefenseSet| {
+            let cfg = SimConfig { arch, ..sim_cfg(d) };
+            let mut sim = Simulator::new(&m, FixedResolver(leaf), 7, cfg);
+            for _ in 0..3 {
+                sim.call_entry(root).unwrap();
+            }
+            sim.call_entry(root).unwrap()
+        };
+        let baseline = run(Arch::X86, DefenseSet::NONE);
+        for arch in Arch::ALL {
+            assert_eq!(
+                run(arch, DefenseSet::NONE),
+                baseline,
+                "{arch:?}: NONE is arch-independent"
+            );
+        }
+        // Warm steady state: one icall + three returns per invocation, so
+        // the overhead is exactly the backend's per-branch deltas.
+        for arch in Arch::ALL {
+            let b = arch.backend();
+            let expect = b.forward_delta(DefenseSet::ALL) + 3 * b.return_delta(DefenseSet::ALL);
+            assert_eq!(
+                run(arch, DefenseSet::ALL) - baseline,
+                expect,
+                "{arch:?}: warm overhead is the backend's deltas"
+            );
+        }
+        // Hardware CFI is an order of magnitude cheaper than the fenced
+        // retpoline family; the NOP variant charges nothing at all.
+        assert!(run(Arch::Arm64, DefenseSet::ALL) < run(Arch::X86, DefenseSet::ALL) / 2);
+        assert_eq!(run(Arch::Riscv64Nop, DefenseSet::ALL), baseline);
     }
 
     #[test]

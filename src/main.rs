@@ -29,8 +29,13 @@
 //! together exercise every pipeline stage. The per-stage wall-clock sums
 //! from [`pibe::BuildMetrics`] are printed and written as
 //! `BENCH_pipeline.json`, the perf-trajectory record CI regresses against.
+//!
+//! The record's `stages_ns` aggregate covers the x86 configurations only,
+//! so baselines committed before the multi-arch backends remain
+//! comparable; the ARM and RISC-V builds of the paper-optimal
+//! configuration are timed separately under `arch_stages_ns`.
 
-use pibe::{BuildMetrics, Image, PibeConfig};
+use pibe::{Arch, BuildMetrics, Image, PibeConfig};
 use pibe_harden::DefenseSet;
 use pibe_kernel::measure::collect_profile;
 use pibe_kernel::workloads::lmbench_suite;
@@ -108,20 +113,56 @@ fn parse_args() -> Args {
 /// configuration.
 fn bench_configs() -> Vec<(&'static str, PibeConfig)> {
     vec![
-        ("lto+all", PibeConfig::lto_with(DefenseSet::ALL)),
+        (
+            "lto+all",
+            PibeConfig::builder().defenses(DefenseSet::ALL).build(),
+        ),
         (
             "icp99+retpolines",
-            PibeConfig::icp_only(Budget::P99, DefenseSet::RETPOLINES),
+            PibeConfig::builder()
+                .icp(Budget::P99)
+                .defenses(DefenseSet::RETPOLINES)
+                .build(),
         ),
         (
             "full99+all+dce",
-            PibeConfig::full(Budget::P99, DefenseSet::ALL).with_dce(true),
+            PibeConfig::builder()
+                .icp(Budget::P99)
+                .inliner(Budget::P99)
+                .defenses(DefenseSet::ALL)
+                .dce(true)
+                .build(),
         ),
         (
             "lax+all+dce",
-            PibeConfig::lax(DefenseSet::ALL).with_dce(true),
+            PibeConfig::builder()
+                .lax()
+                .defenses(DefenseSet::ALL)
+                .dce(true)
+                .build(),
         ),
     ]
+}
+
+/// The non-x86 builds timed under `arch_stages_ns`: the paper-optimal
+/// configuration once per hardware-CFI backend. Kept out of the main
+/// aggregate so `stages_ns` stays comparable with pre-multi-arch
+/// baselines.
+fn arch_bench_configs() -> Vec<(&'static str, PibeConfig)> {
+    [Arch::Arm64, Arch::Riscv64]
+        .into_iter()
+        .map(|arch| {
+            (
+                arch.name(),
+                PibeConfig::builder()
+                    .lax()
+                    .defenses(DefenseSet::ALL)
+                    .dce(true)
+                    .arch(arch)
+                    .build(),
+            )
+        })
+        .collect()
 }
 
 fn stages_json(m: &BuildMetrics) -> serde_json::Value {
@@ -192,6 +233,29 @@ fn main() {
         per_config.push((name, config_metrics));
     }
 
+    let mut per_arch: Vec<(&'static str, BuildMetrics)> = Vec::new();
+    for (name, config) in &arch_bench_configs() {
+        let mut arch_metrics = BuildMetrics::default();
+        for _ in 0..args.repeat {
+            let image = Image::builder(&kernel.module)
+                .profile(&profile)
+                .config(*config)
+                .threads(threads)
+                .build()
+                .unwrap_or_else(|e| {
+                    eprintln!("error: build of lax+all+dce@{name} failed: {e}");
+                    std::process::exit(1);
+                });
+            arch_metrics.accumulate(&image.metrics);
+        }
+        eprintln!(
+            "[lax+all+dce@{name}: {} builds, {:.1}ms total]",
+            args.repeat,
+            arch_metrics.total_ns as f64 / 1e6
+        );
+        per_arch.push((name, arch_metrics));
+    }
+
     let ms = |ns: u64| format!("{:.1}", ns as f64 / 1e6);
     println!("\n; per-stage wall time summed over {builds} builds");
     for (stage, ns) in aggregate.stages() {
@@ -199,6 +263,9 @@ fn main() {
     }
     println!("total build  (ms)  {}", ms(aggregate.total_ns));
     println!("stage rollbacks    {}", aggregate.rollbacks);
+    for (arch, m) in &per_arch {
+        println!("arch {arch:>8} (ms)  {}", ms(m.total_ns));
+    }
 
     let doc = serde_json::json!({
         "bench": "pipeline",
@@ -212,6 +279,12 @@ fn main() {
         "stages_ns": stages_json(&aggregate),
         "total_ns": aggregate.total_ns,
         "rollbacks": aggregate.rollbacks,
+        "arch_stages_ns": serde_json::Value::Object(
+            per_arch
+                .iter()
+                .map(|(arch, m)| (String::from(*arch), stages_json(m)))
+                .collect(),
+        ),
         "configs": per_config
             .iter()
             .map(|(name, m)| {

@@ -56,20 +56,6 @@ pub struct ImageFarm {
     threads: usize,
 }
 
-/// Worker-pool width: the `PIBE_BUILD_THREADS` environment variable when
-/// set to a positive integer, otherwise the machine's available
-/// parallelism.
-fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("PIBE_BUILD_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
 impl ImageFarm {
     /// Creates a farm over `base` and `profile` with the default thread
     /// count (see [`ImageFarm::threads`]).
@@ -85,7 +71,24 @@ impl ImageFarm {
             cache: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             builds: AtomicU64::new(0),
-            threads: default_threads(),
+            threads: pibe_ir::par::default_threads(),
+        }
+    }
+
+    /// A fresh farm over the **same** base module but a new profile — the
+    /// continuous-PGO epoch pattern. The module `Arc` is shared (no clone;
+    /// builds keep sharing the copy-on-write function bodies), the image
+    /// cache starts empty (images are keyed by configuration, and every
+    /// cached image embodies decisions made against the *old* profile), and
+    /// the worker-pool width carries over.
+    pub fn rebase_profile(&self, profile: Arc<Profile>) -> ImageFarm {
+        ImageFarm {
+            base: Arc::clone(&self.base),
+            profile,
+            cache: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            threads: self.threads,
         }
     }
 
@@ -364,6 +367,26 @@ mod tests {
         assert!(agg.total_ns > 0);
         assert!(agg.clone_ns > 0);
         assert_eq!(farm.stats().failed, 0);
+    }
+
+    #[test]
+    fn rebase_profile_shares_base_and_resets_cache() {
+        let farm = test_farm();
+        let cfg = PibeConfig::lax(DefenseSet::ALL);
+        farm.image(&cfg).expect("builds");
+
+        let mut p2 = farm.profile().clone();
+        p2.merge(&farm.profile().clone()); // epoch: counts doubled
+        let rebased = farm.rebase_profile(Arc::new(p2));
+        assert!(
+            std::ptr::eq(farm.base(), rebased.base()),
+            "base module Arc is shared, not cloned"
+        );
+        assert_eq!(rebased.stats().cached, 0, "image cache starts empty");
+        assert_eq!(rebased.threads(), farm.threads());
+        rebased.image(&cfg).expect("rebuilds under the new profile");
+        assert_eq!(rebased.stats().builds, 1);
+        assert_eq!(farm.stats().builds, 1, "old farm untouched");
     }
 
     /// A farm whose profile has a dangling value-profile target planted as

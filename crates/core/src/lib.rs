@@ -48,7 +48,7 @@ pub mod report;
 pub use chaos::{corrupt_module, ModuleCorruption, SemanticCorruption};
 pub use config::{FailurePolicy, PibeConfig, PibeConfigBuilder, ValidationPolicy};
 pub use farm::{FarmStats, ImageFarm};
-pub use pibe_harden::{Arch, DefenseBackend, DefenseSet};
+pub use pibe_harden::{Arch, DefenseBackend, DefenseSet, HardenCache, HardenCacheStats};
 pub use pipeline::{
     build_image, BuildMetrics, FaultLog, Image, ImageBuilder, ImageSize, PipelineError,
     ProfiledImageBuilder, Stage, StageFault, StageSnapshot,

@@ -24,7 +24,9 @@
 
 use crate::chaos::{ModuleCorruption, SemanticCorruption};
 use crate::config::{FailurePolicy, PibeConfig, ValidationPolicy};
-use pibe_harden::{audit_backend, AuditError, DefenseBackend, HardenReport, SecurityAudit};
+use pibe_harden::{
+    audit_backend, AuditError, DefenseBackend, HardenCache, HardenReport, SecurityAudit,
+};
 use pibe_ir::{FuncId, Module, VerifyError};
 use pibe_passes::{
     promote_indirect_calls, run_inliner, strip_unreachable_threaded, DceMap, DceStats, IcpStats,
@@ -304,6 +306,30 @@ impl fmt::Display for PipelineError {
     }
 }
 
+impl PipelineError {
+    /// Whether a supervisor (the serve loop, a build farm) may reasonably
+    /// retry or continue past this failure while serving its last-known-good
+    /// image.
+    ///
+    /// *Recoverable* errors are faults of one build attempt — a stage rolled
+    /// back ([`Self::StageFailed`]) or a contained worker panic
+    /// ([`Self::StagePanicked`]); the base module and cumulative profile are
+    /// intact, so a later epoch (or a retry under a different policy) can
+    /// succeed. *Unrecoverable* errors indict the inputs or the toolchain
+    /// itself — a structurally invalid module ([`Self::InvalidModule`]), a
+    /// profile rejected under strict validation ([`Self::ProfileInvalid`]),
+    /// or an audit mismatch ([`Self::AuditFailed`]) — and will deterministically
+    /// recur until an operator intervenes.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            PipelineError::StageFailed { .. } | PipelineError::StagePanicked { .. } => true,
+            PipelineError::InvalidModule(_)
+            | PipelineError::ProfileInvalid(_)
+            | PipelineError::AuditFailed(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for PipelineError {}
 
 /// First builder stage: has a base module, needs a profile.
@@ -323,6 +349,7 @@ impl<'m> ImageBuilder<'m> {
             sabotage: None,
             semantic_sabotage: None,
             observer: None,
+            harden_cache: None,
         }
     }
 }
@@ -354,6 +381,7 @@ pub struct ProfiledImageBuilder<'m, 'p> {
     sabotage: Option<(Stage, ModuleCorruption, u64)>,
     semantic_sabotage: Option<(Stage, SemanticCorruption, u64)>,
     observer: Option<&'m dyn Fn(StageSnapshot<'_>)>,
+    harden_cache: Option<&'m HardenCache>,
 }
 
 impl fmt::Debug for ProfiledImageBuilder<'_, '_> {
@@ -365,6 +393,7 @@ impl fmt::Debug for ProfiledImageBuilder<'_, '_> {
             .field("sabotage", &self.sabotage)
             .field("semantic_sabotage", &self.semantic_sabotage)
             .field("observer", &self.observer.is_some())
+            .field("harden_cache", &self.harden_cache.is_some())
             .finish()
     }
 }
@@ -424,6 +453,18 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
     /// the same workload against every snapshot and diff the traces.
     pub fn observe_stages(mut self, observer: &'m dyn Fn(StageSnapshot<'_>)) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a warm [`HardenCache`]: functions whose copy-on-write `Arc`
+    /// identity survived the earlier stages of this build (because no pass
+    /// touched them) reuse the harden result memoized by a previous build
+    /// against the same cache, instead of being rescanned. The resulting
+    /// image is bit-identical with or without the cache — this is the serve
+    /// loop's way of making re-optimization cost scale with the functions an
+    /// epoch actually changed.
+    pub fn warm_harden_cache(mut self, cache: &'m HardenCache) -> Self {
+        self.harden_cache = Some(cache);
         self
     }
 
@@ -692,9 +733,15 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
         let stage = Instant::now();
         let trace_span = pibe_trace::span("stage.harden");
         let backend = config.arch.backend();
+        let run_harden = |module: &mut Module| match self.harden_cache {
+            Some(cache) => {
+                pibe_harden::apply_cached(module, backend, config.defenses, threads, cache)
+            }
+            None => pibe_harden::apply_with(module, backend, config.defenses, threads),
+        };
         let harden_report;
         if guarded {
-            let report = pibe_harden::apply_with(&mut module, backend, config.defenses, threads);
+            let report = run_harden(&mut module);
             self.sabotage(Stage::Harden, &mut module);
             match module.verify_threaded(threads) {
                 Ok(()) => harden_report = report,
@@ -706,7 +753,7 @@ impl<'m, 'p> ProfiledImageBuilder<'m, 'p> {
                 }
             }
         } else {
-            harden_report = pibe_harden::apply_with(&mut module, backend, config.defenses, threads);
+            harden_report = run_harden(&mut module);
             self.sabotage(Stage::Harden, &mut module);
         }
         self.notify(Stage::Harden, &module, dce_map.as_ref());
@@ -1150,6 +1197,66 @@ mod tests {
         assert!(img.faults.is_empty(), "no stage fault recorded");
         assert_eq!(img.metrics.rollbacks, 0);
         img.module.verify().expect("corrupted image still verifies");
+    }
+
+    #[test]
+    fn warm_harden_cache_is_invisible_in_the_image() {
+        let (k, p) = profiled_kernel();
+        let cfg = PibeConfig::lax(DefenseSet::ALL);
+        let cold = build_image(&k.module, &p, &cfg);
+
+        let cache = HardenCache::new();
+        for round in 0..3 {
+            let img = Image::builder(&k.module)
+                .profile(&p)
+                .config(cfg)
+                .warm_harden_cache(&cache)
+                .build()
+                .expect("cached build succeeds");
+            assert_eq!(
+                img.module.to_string(),
+                cold.module.to_string(),
+                "round {round}: cache must not change the image"
+            );
+            assert_eq!(img.harden_report, cold.harden_report, "round {round}");
+            assert_eq!(img.audit, cold.audit, "round {round}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.generation, 3);
+        assert!(
+            stats.hits > 0,
+            "functions untouched by the passes keep their Arc identity \
+             across builds and must hit: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn error_recoverability_matches_the_supervision_contract() {
+        let (k, p) = profiled_kernel();
+        // A rolled-back stage under the abort policy: one bad build, inputs
+        // intact — recoverable.
+        let err = Image::builder(&k.module)
+            .profile(&p)
+            .config(PibeConfig::lax(DefenseSet::ALL))
+            .inject_fault(Stage::Inline, ModuleCorruption::DanglingBlock, 11)
+            .build()
+            .expect_err("sabotaged stage fails");
+        assert!(err.is_recoverable(), "{err}");
+        assert!(PipelineError::StagePanicked {
+            message: "worker".into()
+        }
+        .is_recoverable());
+
+        // A corrupt profile under strict validation deterministically recurs
+        // until the operator intervenes — unrecoverable.
+        let (bad, _kind, landed) = corrupt_profile(&p, &k.module, 2);
+        assert!(landed);
+        let err = Image::builder(&k.module)
+            .profile(&bad)
+            .config(PibeConfig::lax(DefenseSet::ALL).with_validation(ValidationPolicy::Strict))
+            .build()
+            .expect_err("strict validation rejects");
+        assert!(!err.is_recoverable(), "{err}");
     }
 
     #[test]

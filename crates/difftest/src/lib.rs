@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod epoch;
 pub mod fixture;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
 pub mod trace;
 
+pub use epoch::{bit_identical, EpochMismatch};
 pub use fixture::{from_text, to_text, FixtureError};
 pub use gen::{
     build_module, gen_case, generate_plans, plans, Case, FnPlan, GenConfig, ResolverSpec,

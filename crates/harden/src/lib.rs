@@ -73,4 +73,6 @@ pub use backend::{
     RISCV_CFI, RISCV_CFI_NOP, X86_RETPOLINE,
 };
 pub use defense::DefenseSet;
-pub use transform::{apply, apply_threaded, apply_with, HardenReport};
+pub use transform::{
+    apply, apply_cached, apply_threaded, apply_with, HardenCache, HardenCacheStats, HardenReport,
+};

@@ -11,20 +11,103 @@
 //! fan out through this module; the determinism rule that makes that safe
 //! is documented in `DESIGN.md` ("parallel stages merge by function id").
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The environment variable naming the build worker count.
+pub const THREADS_VAR: &str = "PIBE_BUILD_THREADS";
+
+/// A malformed thread-count environment variable: the variable name, the
+/// rejected value, and why it was rejected. Surfaced as a typed error so a
+/// typo'd `PIBE_BUILD_THREADS=eight` fails loudly instead of silently
+/// running on a default the operator did not choose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvThreadsError {
+    /// The environment variable that was set.
+    pub var: &'static str,
+    /// The rejected value, as found in the environment.
+    pub value: String,
+    /// Why the value was rejected.
+    pub reason: EnvThreadsErrorKind,
+}
+
+/// Why a thread-count environment value was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvThreadsErrorKind {
+    /// Not an unsigned integer.
+    NotANumber,
+    /// Parsed, but zero — a pool needs at least one worker.
+    Zero,
+}
+
+impl fmt::Display for EnvThreadsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.reason {
+            EnvThreadsErrorKind::NotANumber => write!(
+                f,
+                "{}={:?} is not a thread count (expected a positive integer)",
+                self.var, self.value
+            ),
+            EnvThreadsErrorKind::Zero => write!(
+                f,
+                "{}=0 is not a thread count (a pool needs at least one worker)",
+                self.var
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnvThreadsError {}
+
+/// Parses a thread-count value as found under environment variable `var`
+/// (`var` is only used for error attribution).
+///
+/// # Errors
+/// Returns [`EnvThreadsError`] when the value is not a positive integer.
+pub fn parse_threads(var: &'static str, value: &str) -> Result<usize, EnvThreadsError> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(EnvThreadsError {
+            var,
+            value: value.to_string(),
+            reason: EnvThreadsErrorKind::Zero,
+        }),
+        Ok(n) => Ok(n),
+        Err(_) => Err(EnvThreadsError {
+            var,
+            value: value.to_string(),
+            reason: EnvThreadsErrorKind::NotANumber,
+        }),
+    }
+}
+
+/// Reads [`THREADS_VAR`] from the environment: `Ok(Some(n))` when set to a
+/// positive integer, `Ok(None)` when unset.
+///
+/// # Errors
+/// Returns [`EnvThreadsError`] when the variable is set but malformed —
+/// callers with a user interface (the `pibe-suite` binary, the serve
+/// loop's config) surface the error; [`default_threads`] panics on it.
+pub fn threads_from_env() -> Result<Option<usize>, EnvThreadsError> {
+    match std::env::var(THREADS_VAR) {
+        Ok(v) => parse_threads(THREADS_VAR, &v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
 
 /// Worker count implied by the environment: the `PIBE_BUILD_THREADS`
 /// variable when set to a positive integer, otherwise the machine's
 /// available parallelism.
+///
+/// # Panics
+/// Panics (with the [`EnvThreadsError`] message) when the variable is set
+/// but malformed. A typo must not silently degrade a measurement run to an
+/// unintended thread count; fallible callers use [`threads_from_env`].
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("PIBE_BUILD_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    match threads_from_env() {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Err(e) => panic!("{e}"),
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Applies `f` to every index in `0..n` on up to `threads` workers and
@@ -111,5 +194,25 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads(THREADS_VAR, "1"), Ok(1));
+        assert_eq!(parse_threads(THREADS_VAR, " 8 "), Ok(8));
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_and_garbage_with_typed_errors() {
+        let zero = parse_threads(THREADS_VAR, "0").unwrap_err();
+        assert_eq!(zero.reason, EnvThreadsErrorKind::Zero);
+        assert!(zero.to_string().contains(THREADS_VAR));
+
+        for bad in ["eight", "-2", "1.5", ""] {
+            let err = parse_threads(THREADS_VAR, bad).unwrap_err();
+            assert_eq!(err.reason, EnvThreadsErrorKind::NotANumber, "{bad:?}");
+            assert_eq!(err.value, bad);
+            assert!(err.to_string().contains(THREADS_VAR), "{err}");
+        }
     }
 }

@@ -1,0 +1,653 @@
+//! Decision-surface drift detection for continuous PGO.
+//!
+//! A long-lived re-optimization service (the `pibe-serve` crate) ingests a
+//! stream of profile deltas. Most epochs only nudge counters that no
+//! optimization decision depends on — rebuilding the image from scratch for
+//! those epochs wastes the whole epoch budget. This module computes, for a
+//! fixed base module and pipeline configuration, the **decision surface** of
+//! a profile: the exact outputs of every profile-driven selection the
+//! pipeline makes. Two profiles with equal surfaces drive the pipeline
+//! through *identical* decision sequences and therefore produce
+//! *bit-identical* images; a surface change pinpoints the functions whose
+//! hotness crossed an optimization-decision threshold.
+//!
+//! Why the surface must replicate selections exactly, not approximate them
+//! by rank: budget prefixes depend on the *total* population weight, the
+//! inliner compares *computed* propagated weights (`round(w × ε / entries)`)
+//! against the selection floor, and boundary ties break on the pass's own
+//! candidate order — all of which make any rank- or ratio-based abstraction
+//! unsound (a uniform ×2 scale can flip a rounded propagated weight across
+//! the floor). The surface therefore stores:
+//!
+//! * **ICP**: the promoted sites in promotion order with their promoted
+//!   `(fresh site, target, weight)` lists — fresh [`SiteId`]s are assigned
+//!   here exactly as the pass assigns them, so downstream facts can refer
+//!   to promoted sites across epochs;
+//! * **inlining**: the budget-selected candidate prefix (with the pass's
+//!   exact `(weight, site, caller, callee)` ordering), the selection floor,
+//!   the lax floor, and — because propagation reads callee entry counts and
+//!   copied-site weights — the exact per-function facts for the transitive
+//!   callee closure of the selected candidates;
+//! * **DCE**: the profile-coverage root and address-taken function sets.
+//!
+//! Equality of all components is a proof of decision equality; the serve
+//! soak additionally cross-checks every epoch against a from-scratch build
+//! with the difftest bit-identity oracle.
+
+use crate::budget::{Budget, BudgetRanking};
+use crate::profile::Profile;
+use pibe_ir::{FuncId, Inst, Module, SiteId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Immutable facts about the base module that profile-driven selection
+/// consults, precomputed once so per-epoch surface computation never walks
+/// function bodies.
+#[derive(Debug, Clone)]
+pub struct ModuleIndex {
+    /// Number of functions in the module (profile keys at or past this
+    /// index are out of range).
+    nfuncs: usize,
+    /// The next fresh [`SiteId`] the module would allocate — ICP fresh-site
+    /// replication starts here.
+    next_site: u64,
+    /// Every direct call site: `(owner, static callee)`.
+    direct: HashMap<SiteId, (FuncId, FuncId)>,
+    /// Every unresolved indirect call site: `(owner, is_asm, owner_optnone)`.
+    indirect: HashMap<SiteId, (FuncId, bool, bool)>,
+    /// Per-function direct call sites `(site, callee)`, in body order.
+    direct_by_owner: Vec<Vec<(SiteId, FuncId)>>,
+}
+
+impl ModuleIndex {
+    /// Indexes `module`. The index is only valid for surfaces computed
+    /// against this exact module (the serve loop holds one base module for
+    /// its whole lifetime).
+    pub fn new(module: &Module) -> Self {
+        let nfuncs = module.len();
+        let mut direct = HashMap::new();
+        let mut indirect = HashMap::new();
+        let mut direct_by_owner = vec![Vec::new(); nfuncs];
+        for f in module.functions() {
+            let optnone = f.attrs().optnone;
+            for block in f.blocks() {
+                for inst in &block.insts {
+                    match inst {
+                        Inst::Call { site, callee, .. } => {
+                            direct.insert(*site, (f.id(), *callee));
+                            direct_by_owner[f.id().index()].push((*site, *callee));
+                        }
+                        Inst::CallIndirect {
+                            site,
+                            resolved: false,
+                            asm,
+                            ..
+                        } => {
+                            indirect.insert(*site, (f.id(), *asm, optnone));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        ModuleIndex {
+            nfuncs,
+            next_site: module.peek_next_site(),
+            direct,
+            indirect,
+            direct_by_owner,
+        }
+    }
+
+    /// Number of functions in the indexed module.
+    pub fn num_functions(&self) -> usize {
+        self.nfuncs
+    }
+}
+
+/// ICP selection knobs, mirroring `pibe_passes::IcpConfig` (kept as plain
+/// fields so the profile crate does not depend on the passes crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcpSpec {
+    /// Budget over cumulative `(site, target)` weight.
+    pub budget: Budget,
+    /// Per-site promoted-target cap (`None` = PIBE's unlimited).
+    pub max_targets_per_site: Option<usize>,
+}
+
+/// Inliner selection knobs, mirroring `pibe_passes::InlinerConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineSpec {
+    /// Rule 1 budget over cumulative direct-call weight.
+    pub budget: Budget,
+    /// The lax-heuristics prefix budget, when lax mode is on.
+    pub lax_budget: Option<Budget>,
+}
+
+/// Which profile-driven selections the pipeline configuration enables —
+/// the drift analysis only tracks decisions a disabled stage cannot make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftConfig {
+    /// Indirect call promotion, when enabled.
+    pub icp: Option<IcpSpec>,
+    /// Security inlining, when enabled.
+    pub inline: Option<InlineSpec>,
+    /// Whether profile-coverage DCE runs.
+    pub dce: bool,
+}
+
+/// One promoted indirect site: the site, its owner, and the ordered
+/// promoted targets with the fresh direct-call [`SiteId`]s the pass will
+/// allocate for them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcpSiteDecision {
+    /// The promoted indirect call site.
+    pub site: SiteId,
+    /// The function owning the site.
+    pub owner: FuncId,
+    /// `(fresh site, target, weight)` in guard-chain order.
+    pub promos: Vec<(SiteId, FuncId, u64)>,
+}
+
+/// One budget-selected inline candidate, with the pass's exact field and
+/// tie order (`weight`, then `site`, then `caller`, then `callee`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct InlineCandidate {
+    /// Profiled (or promoted, or propagated) execution weight.
+    pub weight: u64,
+    /// The direct call site.
+    pub site: SiteId,
+    /// The calling function.
+    pub caller: FuncId,
+    /// The static callee.
+    pub callee: FuncId,
+}
+
+/// The exact per-function facts inline propagation reads: the callee's
+/// invocation count and the weights of every direct call site it owns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClosureFacts {
+    /// `profile.entry_count` of the function.
+    pub entry_count: u64,
+    /// `(site, weight)` of every direct call site the function owns
+    /// (original body sites plus ICP-promoted sites), sorted by site.
+    pub site_weights: Vec<(SiteId, u64)>,
+}
+
+/// The full decision surface of a `(base module, profile, config)` triple.
+///
+/// Equality of two surfaces computed over the same [`ModuleIndex`] and
+/// [`DriftConfig`] implies the pipeline makes identical decisions for both
+/// profiles, hence produces bit-identical images.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecisionSurface {
+    /// Promoted sites in promotion order (order-sensitive: it drives
+    /// fresh-site allocation).
+    pub icp: Vec<IcpSiteDecision>,
+    /// The inliner's budget-selected prefix, hottest first.
+    pub inline_selected: Vec<InlineCandidate>,
+    /// The coldest selected weight (`u64::MAX` when nothing is selected).
+    pub inline_floor: u64,
+    /// The lax-heuristics exemption floor (`u64::MAX` when lax is off).
+    pub lax_floor: u64,
+    /// Propagation facts for the transitive callee closure of the selected
+    /// candidates, keyed by function.
+    pub closure: BTreeMap<FuncId, ClosureFacts>,
+    /// Profile-coverage DCE roots (entry-profiled functions in range).
+    pub dce_roots: BTreeSet<FuncId>,
+    /// True when the root set is empty and DCE therefore roots every
+    /// function.
+    pub dce_all_roots: bool,
+    /// Value-profile target functions DCE treats as address-taken.
+    pub dce_taken: BTreeSet<FuncId>,
+}
+
+impl DecisionSurface {
+    /// Computes the decision surface of `profile` over `index` under
+    /// `config`.
+    pub fn compute(index: &ModuleIndex, profile: &Profile, config: &DriftConfig) -> Self {
+        let mut surface = DecisionSurface {
+            inline_floor: u64::MAX,
+            lax_floor: u64::MAX,
+            ..DecisionSurface::default()
+        };
+        if let Some(spec) = &config.icp {
+            surface.icp = icp_decisions(index, profile, spec);
+        }
+        if let Some(spec) = &config.inline {
+            let icp = std::mem::take(&mut surface.icp);
+            inline_surface(index, profile, spec, &icp, &mut surface);
+            surface.icp = icp;
+        }
+        if config.dce {
+            let nfuncs = index.nfuncs;
+            for (f, _) in profile.iter_entries() {
+                if f.index() < nfuncs {
+                    surface.dce_roots.insert(f);
+                }
+            }
+            surface.dce_all_roots = surface.dce_roots.is_empty();
+            for (_, entries) in profile.iter_indirect() {
+                for e in entries {
+                    if e.target.index() < nfuncs {
+                        surface.dce_taken.insert(e.target);
+                    }
+                }
+            }
+        }
+        surface
+    }
+
+    /// Diffs two surfaces computed over the same index and config,
+    /// attributing changes to functions.
+    pub fn diff(&self, newer: &DecisionSurface) -> DriftReport {
+        let mut report = DriftReport {
+            unchanged: self == newer,
+            ..DriftReport::default()
+        };
+        if report.unchanged {
+            return report;
+        }
+        // ICP: sites whose promotion decision (or position) changed.
+        let as_map = |v: &[IcpSiteDecision]| -> HashMap<SiteId, (usize, IcpSiteDecision)> {
+            v.iter()
+                .enumerate()
+                .map(|(i, d)| (d.site, (i, d.clone())))
+                .collect()
+        };
+        let old_icp = as_map(&self.icp);
+        let new_icp = as_map(&newer.icp);
+        for (site, (pos, d)) in &old_icp {
+            if new_icp.get(site).map(|(p, n)| (p, n)) != Some((pos, d)) {
+                report.icp_sites_changed += 1;
+                report.drifted.insert(d.owner);
+            }
+        }
+        for (site, (_, d)) in &new_icp {
+            if !old_icp.contains_key(site) {
+                report.icp_sites_changed += 1;
+                report.drifted.insert(d.owner);
+            }
+        }
+        // Inlining: symmetric difference of the selected prefixes, plus
+        // everything selected when a floor moved (floor changes can flip
+        // propagation decisions in any selected caller).
+        let old_sel: BTreeSet<&InlineCandidate> = self.inline_selected.iter().collect();
+        let new_sel: BTreeSet<&InlineCandidate> = newer.inline_selected.iter().collect();
+        for c in old_sel.symmetric_difference(&new_sel) {
+            report.inline_candidates_changed += 1;
+            report.drifted.insert(c.caller);
+        }
+        if self.inline_floor != newer.inline_floor || self.lax_floor != newer.lax_floor {
+            report.floors_changed = true;
+            for c in old_sel.union(&new_sel) {
+                report.drifted.insert(c.caller);
+            }
+        }
+        for (f, facts) in &self.closure {
+            if newer.closure.get(f) != Some(facts) {
+                report.closure_functions_changed += 1;
+                report.drifted.insert(*f);
+            }
+        }
+        for f in newer.closure.keys() {
+            if !self.closure.contains_key(f) {
+                report.closure_functions_changed += 1;
+                report.drifted.insert(*f);
+            }
+        }
+        // DCE: set-level change affects the whole image numbering.
+        if self.dce_roots != newer.dce_roots
+            || self.dce_all_roots != newer.dce_all_roots
+            || self.dce_taken != newer.dce_taken
+        {
+            report.dce_changed = true;
+            for f in self.dce_roots.symmetric_difference(&newer.dce_roots) {
+                report.drifted.insert(*f);
+            }
+            for f in self.dce_taken.symmetric_difference(&newer.dce_taken) {
+                report.drifted.insert(*f);
+            }
+        }
+        report
+    }
+}
+
+/// What changed between two epochs' decision surfaces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriftReport {
+    /// True when the surfaces are identical — the pipeline would make the
+    /// exact same decisions, so the previous image can be served as-is.
+    pub unchanged: bool,
+    /// Functions whose optimization decisions changed (attribution for
+    /// reporting; correctness rests only on `unchanged`).
+    pub drifted: BTreeSet<FuncId>,
+    /// Promoted indirect sites added, removed, or reordered.
+    pub icp_sites_changed: usize,
+    /// Inline candidates entering or leaving the selected prefix.
+    pub inline_candidates_changed: usize,
+    /// Closure functions whose propagation facts changed.
+    pub closure_functions_changed: usize,
+    /// True when a selection or lax floor moved.
+    pub floors_changed: bool,
+    /// True when the DCE root or address-taken set changed.
+    pub dce_changed: bool,
+}
+
+impl DriftReport {
+    /// Number of functions whose decisions drifted.
+    pub fn drifted_functions(&self) -> usize {
+        self.drifted.len()
+    }
+}
+
+/// Replicates ICP selection exactly: candidate gathering, budget
+/// selection, per-site grouping with the target cap, skip rules, and
+/// fresh-site allocation order.
+fn icp_decisions(index: &ModuleIndex, profile: &Profile, spec: &IcpSpec) -> Vec<IcpSiteDecision> {
+    let mut candidates: Vec<((SiteId, FuncId), u64)> = Vec::new();
+    for (site, entries) in profile.iter_indirect() {
+        for e in entries {
+            candidates.push(((site, e.target), e.count));
+        }
+    }
+    let selected = crate::budget::select_by_budget(&candidates, spec.budget);
+
+    let mut per_site: HashMap<SiteId, Vec<(FuncId, u64)>> = HashMap::new();
+    let mut site_order: Vec<SiteId> = Vec::new();
+    for ((site, target), w) in selected {
+        let entry = per_site.entry(site).or_default();
+        if entry.is_empty() {
+            site_order.push(site);
+        }
+        if spec
+            .max_targets_per_site
+            .is_none_or(|cap| entry.len() < cap)
+        {
+            entry.push((target, w));
+        }
+    }
+
+    let mut next = index.next_site;
+    let mut decisions = Vec::new();
+    for site in site_order {
+        // Skip rules allocate no fresh sites, in the pass's order: unknown
+        // site, optnone owner, inline-asm site.
+        let Some(&(owner, asm, optnone)) = index.indirect.get(&site) else {
+            continue;
+        };
+        if optnone || asm {
+            continue;
+        }
+        let promos = per_site[&site]
+            .iter()
+            .map(|(t, w)| {
+                let fresh = SiteId::from_raw(next);
+                next += 1;
+                (fresh, *t, *w)
+            })
+            .collect();
+        decisions.push(IcpSiteDecision {
+            site,
+            owner,
+            promos,
+        });
+    }
+    decisions
+}
+
+/// Replicates the inliner's Rule 1 selection over the post-ICP candidate
+/// population and collects the propagation closure facts.
+fn inline_surface(
+    index: &ModuleIndex,
+    profile: &Profile,
+    spec: &InlineSpec,
+    icp: &[IcpSiteDecision],
+    surface: &mut DecisionSurface,
+) {
+    // Candidate population: every profiled direct call site of the base
+    // module plus every ICP-promoted site. Zero-weight sites are inert
+    // (never selected, contribute no budget weight) and are omitted.
+    let mut population: Vec<(InlineCandidate, u64)> = Vec::new();
+    for (&site, &(owner, callee)) in &index.direct {
+        let w = profile.direct_count(site);
+        if w > 0 {
+            population.push((
+                InlineCandidate {
+                    weight: w,
+                    site,
+                    caller: owner,
+                    callee,
+                },
+                w,
+            ));
+        }
+    }
+    let mut promos_by_owner: HashMap<FuncId, Vec<(SiteId, FuncId, u64)>> = HashMap::new();
+    for d in icp {
+        for &(fresh, target, w) in &d.promos {
+            promos_by_owner
+                .entry(d.owner)
+                .or_default()
+                .push((fresh, target, w));
+            if w > 0 {
+                population.push((
+                    InlineCandidate {
+                        weight: w,
+                        site: fresh,
+                        caller: d.owner,
+                        callee: target,
+                    },
+                    w,
+                ));
+            }
+        }
+    }
+
+    let ranking = BudgetRanking::new(&population);
+    let selected = ranking.selected(spec.budget);
+    surface.inline_selected = selected.iter().map(|(c, _)| *c).collect();
+    surface.inline_floor = selected.last().map(|(_, w)| *w).unwrap_or(u64::MAX);
+    surface.lax_floor = spec
+        .lax_budget
+        .map(|b| ranking.floor(b).unwrap_or(u64::MAX))
+        .unwrap_or(u64::MAX);
+
+    // Propagation facts: inlining a candidate copies the callee's direct
+    // sites (with their original ids) into the caller and re-ranks them by
+    // `round(site_weight × cand.weight / entry_count(callee))`, so the
+    // decisions reachable from the selected set depend on the entry counts
+    // and site weights of the transitive callee closure over the post-ICP
+    // direct-call graph.
+    let mut queue: VecDeque<FuncId> = surface.inline_selected.iter().map(|c| c.callee).collect();
+    let mut seen: BTreeSet<FuncId> = BTreeSet::new();
+    while let Some(f) = queue.pop_front() {
+        if f.index() >= index.nfuncs || !seen.insert(f) {
+            continue;
+        }
+        let mut facts = ClosureFacts {
+            entry_count: profile.entry_count(f),
+            site_weights: Vec::new(),
+        };
+        for &(site, callee) in &index.direct_by_owner[f.index()] {
+            let w = profile.direct_count(site);
+            if w > 0 {
+                facts.site_weights.push((site, w));
+            }
+            queue.push_back(callee);
+        }
+        if let Some(promos) = promos_by_owner.get(&f) {
+            for &(fresh, target, w) in promos {
+                if w > 0 {
+                    facts.site_weights.push((fresh, w));
+                }
+                queue.push_back(target);
+            }
+        }
+        facts.site_weights.sort_unstable();
+        surface.closure.insert(f, facts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pibe_ir::{FunctionBuilder, OpKind};
+
+    /// leaf0, leaf1, mid (calls leaf0), root (calls mid, icall site).
+    fn fixture() -> (Module, Profile, Vec<SiteId>, SiteId) {
+        let mut m = Module::new("m");
+        let mut leaves = Vec::new();
+        for i in 0..2 {
+            let mut b = FunctionBuilder::new(format!("leaf{i}"), 0);
+            b.op(OpKind::Alu);
+            b.ret();
+            leaves.push(m.add_function(b.build()));
+        }
+        let s_mid_leaf = m.fresh_site();
+        let mut b = FunctionBuilder::new("mid", 0);
+        b.call(s_mid_leaf, leaves[0], 0);
+        b.ret();
+        let mid = m.add_function(b.build());
+        let s_root_mid = m.fresh_site();
+        let s_icall = m.fresh_site();
+        let mut b = FunctionBuilder::new("root", 0);
+        b.call(s_root_mid, mid, 0);
+        b.call_indirect(s_icall, 0);
+        b.ret();
+        m.add_function(b.build());
+
+        let mut p = Profile::new();
+        for _ in 0..1000 {
+            p.record_direct(s_root_mid);
+            p.record_entry(mid);
+        }
+        for _ in 0..800 {
+            p.record_direct(s_mid_leaf);
+            p.record_entry(leaves[0]);
+        }
+        for _ in 0..600 {
+            p.record_indirect(s_icall, leaves[1]);
+            p.record_entry(leaves[1]);
+        }
+        (m, p, vec![s_root_mid, s_mid_leaf], s_icall)
+    }
+
+    fn config() -> DriftConfig {
+        DriftConfig {
+            icp: Some(IcpSpec {
+                budget: Budget::P99_999,
+                max_targets_per_site: None,
+            }),
+            inline: Some(InlineSpec {
+                budget: Budget::P99_9,
+                lax_budget: None,
+            }),
+            dce: true,
+        }
+    }
+
+    #[test]
+    fn surface_is_deterministic() {
+        let (m, p, _, _) = fixture();
+        let idx = ModuleIndex::new(&m);
+        let a = DecisionSurface::compute(&idx, &p, &config());
+        let b = DecisionSurface::compute(&idx, &p, &config());
+        assert_eq!(a, b);
+        assert!(a.diff(&b).unchanged);
+        assert!(!a.icp.is_empty());
+        assert!(!a.inline_selected.is_empty());
+        assert!(!a.closure.is_empty());
+    }
+
+    #[test]
+    fn icp_fresh_sites_start_at_module_watermark() {
+        let (m, p, _, _) = fixture();
+        let idx = ModuleIndex::new(&m);
+        let s = DecisionSurface::compute(&idx, &p, &config());
+        let first = s.icp[0].promos[0].0;
+        assert_eq!(first, SiteId::from_raw(m.peek_next_site()));
+    }
+
+    #[test]
+    fn hot_count_change_drifts() {
+        let (m, p, sites, _) = fixture();
+        let idx = ModuleIndex::new(&m);
+        let before = DecisionSurface::compute(&idx, &p, &config());
+        let mut p2 = p.clone();
+        p2.record_direct(sites[0]); // hottest selected site: exact weight is on the surface
+        let after = DecisionSurface::compute(&idx, &p2, &config());
+        let report = before.diff(&after);
+        assert!(!report.unchanged);
+        assert!(report.drifted_functions() >= 1);
+    }
+
+    #[test]
+    fn decision_irrelevant_count_change_does_not_drift() {
+        let (m, p, _, _) = fixture();
+        let idx = ModuleIndex::new(&m);
+        let before = DecisionSurface::compute(&idx, &p, &config());
+        let mut p2 = p.clone();
+        // Returns feed no selection; entry counts of already-rooted
+        // non-closure functions only matter as a key set.
+        let root_fn = FuncId::from_raw(3);
+        p2.record_return(root_fn);
+        let after = DecisionSurface::compute(&idx, &p2, &config());
+        assert!(before.diff(&after).unchanged);
+    }
+
+    #[test]
+    fn new_entry_key_drifts_dce_roots() {
+        let (m, p, _, _) = fixture();
+        let idx = ModuleIndex::new(&m);
+        let before = DecisionSurface::compute(&idx, &p, &config());
+        let mut p2 = p.clone();
+        p2.record_entry(FuncId::from_raw(3)); // root was not a DCE root before
+        let after = DecisionSurface::compute(&idx, &p2, &config());
+        let report = before.diff(&after);
+        assert!(!report.unchanged);
+        assert!(report.dce_changed);
+    }
+
+    #[test]
+    fn icp_respects_target_cap_and_asm_skip() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("t0", 0);
+        b.ret();
+        let t0 = m.add_function(b.build());
+        let mut b = FunctionBuilder::new("t1", 0);
+        b.ret();
+        let t1 = m.add_function(b.build());
+        let s_asm = m.fresh_site();
+        let s_ok = m.fresh_site();
+        let mut b = FunctionBuilder::new("root", 0);
+        b.call_indirect_asm(s_asm, 0);
+        b.call_indirect(s_ok, 0);
+        b.ret();
+        m.add_function(b.build());
+        let mut p = Profile::new();
+        for _ in 0..100 {
+            p.record_indirect(s_asm, t0);
+            p.record_indirect(s_ok, t0);
+        }
+        for _ in 0..50 {
+            p.record_indirect(s_ok, t1);
+        }
+        let idx = ModuleIndex::new(&m);
+        let cfg = DriftConfig {
+            icp: Some(IcpSpec {
+                budget: Budget::new(100.0).unwrap(),
+                max_targets_per_site: Some(1),
+            }),
+            inline: None,
+            dce: false,
+        };
+        let s = DecisionSurface::compute(&idx, &p, &cfg);
+        // The asm site is skipped without consuming fresh ids; the capped
+        // site promotes only its hottest target.
+        assert_eq!(s.icp.len(), 1);
+        assert_eq!(s.icp[0].site, s_ok);
+        assert_eq!(s.icp[0].promos.len(), 1);
+        assert_eq!(s.icp[0].promos[0].1, t0);
+        assert_eq!(s.icp[0].promos[0].0, SiteId::from_raw(m.peek_next_site()));
+    }
+}

@@ -24,7 +24,15 @@
 //! (truncated documents, saturating merges). [`Profile::validate_against`]
 //! detects those inconsistencies relative to a concrete module and
 //! [`Profile::repair_against`] fixes them in place; the [`chaos`] module
-//! deterministically *injects* them for fault-tolerance testing.
+//! deterministically *injects* them for fault-tolerance testing. Long-lived
+//! accumulators use [`Profile::merge_checked`], which reports every counter
+//! that saturated as a typed [`MergeOverflow`].
+//!
+//! For continuous PGO, the [`drift`] module computes a profile's *decision
+//! surface* — the exact outputs of every budget selection the pipeline
+//! makes — so a re-optimization service can prove that an epoch's profile
+//! update changes no optimization decision and keep serving the previous
+//! image.
 
 //!
 //! ## Example
@@ -58,6 +66,7 @@
 pub mod analysis;
 mod budget;
 pub mod chaos;
+pub mod drift;
 mod health;
 pub mod overlap;
 mod profile;
@@ -65,5 +74,6 @@ mod profile;
 pub use analysis::{direct_concentration, indirect_concentration, top_direct_sites, Concentration};
 pub use budget::{select_by_budget, Budget, BudgetError, BudgetRanking};
 pub use chaos::{corrupt_profile, ChaosRng, ProfileChaos};
+pub use drift::{DecisionSurface, DriftConfig, DriftReport, IcpSpec, InlineSpec, ModuleIndex};
 pub use health::{ProfileHealth, ProfileIssue, ProfileRepair, COUNT_CLAMP};
-pub use profile::{Profile, ProfileStats, ValueProfileEntry};
+pub use profile::{MergeOverflow, MergeReport, Profile, ProfileStats, ValueProfileEntry};

@@ -142,29 +142,71 @@ impl Profile {
     ///
     /// Sums saturate at `u64::MAX` rather than overflowing; a saturated
     /// count is reported by [`Profile::validate_against`] and clamped by
-    /// [`Profile::repair_against`].
+    /// [`Profile::repair_against`]. Long-lived accumulators that need to
+    /// know *which* counters saturated should call
+    /// [`Profile::merge_checked`] instead.
     pub fn merge(&mut self, other: &Profile) {
+        let _ = self.merge_checked(other);
+    }
+
+    /// Merges `other` into `self` like [`Profile::merge`], additionally
+    /// reporting every counter whose sum saturated at `u64::MAX`.
+    ///
+    /// The merge itself is identical to `merge` — saturated counts are
+    /// still written (callers that must not accept a lossy merge should
+    /// merge into a clone and discard it when the report is dirty). The
+    /// returned [`MergeReport`] lists each overflow as a typed
+    /// [`MergeOverflow`] in deterministic (sorted) order, so a continuous
+    /// profiling service can surface exactly which sites or functions
+    /// exhausted their counters after weeks of epoch accumulation.
+    pub fn merge_checked(&mut self, other: &Profile) -> MergeReport {
+        let mut overflows = Vec::new();
         for (s, c) in &other.direct {
             let mine = self.direct.entry(*s).or_insert(0);
-            *mine = mine.saturating_add(*c);
+            let (sum, wrapped) = mine.overflowing_add(*c);
+            *mine = if wrapped { u64::MAX } else { sum };
+            if wrapped {
+                overflows.push(MergeOverflow::Direct { site: *s });
+            }
         }
         for (s, entries) in &other.indirect {
             let mine = self.indirect.entry(*s).or_default();
             for e in entries {
                 match mine.binary_search_by_key(&e.target, |m| m.target) {
-                    Ok(i) => mine[i].count = mine[i].count.saturating_add(e.count),
+                    Ok(i) => {
+                        let (sum, wrapped) = mine[i].count.overflowing_add(e.count);
+                        mine[i].count = if wrapped { u64::MAX } else { sum };
+                        if wrapped {
+                            overflows.push(MergeOverflow::Indirect {
+                                site: *s,
+                                target: e.target,
+                            });
+                        }
+                    }
                     Err(i) => mine.insert(i, *e),
                 }
             }
         }
         for (f, c) in &other.entries {
             let mine = self.entries.entry(*f).or_insert(0);
-            *mine = mine.saturating_add(*c);
+            let (sum, wrapped) = mine.overflowing_add(*c);
+            *mine = if wrapped { u64::MAX } else { sum };
+            if wrapped {
+                overflows.push(MergeOverflow::Entry { func: *f });
+            }
         }
         for (f, c) in &other.returns {
             let mine = self.returns.entry(*f).or_insert(0);
-            *mine = mine.saturating_add(*c);
+            let (sum, wrapped) = mine.overflowing_add(*c);
+            *mine = if wrapped { u64::MAX } else { sum };
+            if wrapped {
+                overflows.push(MergeOverflow::Return { func: *f });
+            }
         }
+        // Hash-map iteration order is arbitrary; sort so the report is
+        // deterministic for journals and tests.
+        overflows.sort();
+        MergeReport { overflows }
     }
 
     /// Raw mutable access to the count maps, for the sibling `health` and
@@ -297,6 +339,73 @@ impl TryFrom<PortableProfile> for Profile {
             entries: collect_unique(p.entries, "entry")?,
             returns: collect_unique(p.returns, "return")?,
         })
+    }
+}
+
+/// One counter that saturated at `u64::MAX` during a
+/// [`Profile::merge_checked`], identified by the key the profile stores it
+/// under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MergeOverflow {
+    /// A direct call site's execution count saturated.
+    Direct {
+        /// The saturated call site.
+        site: SiteId,
+    },
+    /// One `(site, target)` tuple of an indirect site's value profile
+    /// saturated.
+    Indirect {
+        /// The indirect call site.
+        site: SiteId,
+        /// The target whose tuple saturated.
+        target: FuncId,
+    },
+    /// A function's invocation count saturated.
+    Entry {
+        /// The saturated function.
+        func: FuncId,
+    },
+    /// A function's executed-return count saturated.
+    Return {
+        /// The saturated function.
+        func: FuncId,
+    },
+}
+
+impl std::fmt::Display for MergeOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeOverflow::Direct { site } => {
+                write!(f, "direct count at {site:?} saturated at u64::MAX")
+            }
+            MergeOverflow::Indirect { site, target } => {
+                write!(
+                    f,
+                    "value profile ({site:?}, {target:?}) saturated at u64::MAX"
+                )
+            }
+            MergeOverflow::Entry { func } => {
+                write!(f, "entry count of {func:?} saturated at u64::MAX")
+            }
+            MergeOverflow::Return { func } => {
+                write!(f, "return count of {func:?} saturated at u64::MAX")
+            }
+        }
+    }
+}
+
+/// Result of a [`Profile::merge_checked`]: every counter that saturated,
+/// in deterministic sorted order (empty for a lossless merge).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeReport {
+    /// The saturated counters, sorted.
+    pub overflows: Vec<MergeOverflow>,
+}
+
+impl MergeReport {
+    /// True when no counter saturated — the merge was an exact sum.
+    pub fn is_clean(&self) -> bool {
+        self.overflows.is_empty()
     }
 }
 

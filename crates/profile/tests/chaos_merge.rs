@@ -1,0 +1,164 @@
+//! Satellite coverage: chaos × merge. Every `ProfileChaos` corruption
+//! applied to an epoch delta must be caught by `validate_against` *before*
+//! the delta is merged — the quarantine predicate the serve loop uses — so
+//! no corrupted count ever reaches the cumulative profile. Exercised over a
+//! seeded window so all seven corruption kinds land repeatedly.
+
+use pibe_ir::{FunctionBuilder, Module, OpKind, SiteId};
+use pibe_profile::{corrupt_profile, ProfileChaos, ProfileIssue};
+use pibe_profile::{ChaosRng, Profile};
+
+/// A module with two leaves, a direct call and an indirect call, plus a
+/// clean profile covering all four counter dimensions.
+fn fixture() -> (Module, Profile) {
+    let mut m = Module::new("m");
+    let mut leaves = Vec::new();
+    for i in 0..2 {
+        let mut b = FunctionBuilder::new(format!("leaf{i}"), 0);
+        b.op(OpKind::Alu);
+        b.ret();
+        leaves.push(m.add_function(b.build()));
+    }
+    let d = m.fresh_site();
+    let ind = m.fresh_site();
+    let mut b = FunctionBuilder::new("root", 0);
+    b.call(d, leaves[0], 0);
+    b.call_indirect(ind, 1);
+    b.ret();
+    m.add_function(b.build());
+
+    let mut p = Profile::new();
+    for _ in 0..40 {
+        p.record_direct(d);
+        p.record_entry(leaves[0]);
+    }
+    for (i, leaf) in leaves.iter().enumerate() {
+        for _ in 0..(10 * (i as u64 + 1)) {
+            p.record_indirect(ind, *leaf);
+            p.record_return(*leaf);
+        }
+    }
+    (m, p)
+}
+
+/// A per-seed clean delta: a deterministic thinned copy of the base
+/// profile, as a sharded profiling run would report.
+fn clean_delta(base: &Profile, seed: u64) -> Profile {
+    let mut rng = ChaosRng::new(seed);
+    let mut d = Profile::new();
+    for (site, count) in base.iter_direct() {
+        for _ in 0..(count % (2 + rng.below(7))) {
+            d.record_direct(site);
+        }
+    }
+    for (site, entries) in base.iter_indirect() {
+        for e in entries {
+            for _ in 0..(e.count % (2 + rng.below(5))) {
+                d.record_indirect(site, e.target);
+            }
+        }
+    }
+    for (f, c) in base.iter_entries() {
+        for _ in 0..(c % 3) {
+            d.record_entry(f);
+        }
+    }
+    d
+}
+
+/// The issue class each corruption kind is guaranteed to trip.
+fn matches_kind(kind: ProfileChaos, issue: &ProfileIssue) -> bool {
+    match kind {
+        ProfileChaos::DanglingDirectSite => {
+            matches!(issue, ProfileIssue::DanglingDirectSite { .. })
+        }
+        ProfileChaos::DanglingIndirectSite => {
+            matches!(issue, ProfileIssue::DanglingIndirectSite { .. })
+        }
+        ProfileChaos::DanglingTarget => matches!(issue, ProfileIssue::DanglingTarget { .. }),
+        ProfileChaos::DuplicateTarget => matches!(issue, ProfileIssue::DuplicateTarget { .. }),
+        ProfileChaos::TruncateValueProfile => {
+            matches!(issue, ProfileIssue::EmptyValueProfile { .. })
+        }
+        ProfileChaos::SaturateCounts => matches!(
+            issue,
+            ProfileIssue::SaturatedDirect { .. } | ProfileIssue::SaturatedIndirect { .. }
+        ),
+        ProfileChaos::Erase => matches!(issue, ProfileIssue::Empty),
+    }
+}
+
+#[test]
+fn every_landed_corruption_is_quarantined_before_merge() {
+    let (m, base) = fixture();
+    let mut landed_kinds = std::collections::HashSet::new();
+
+    // The serve loop in miniature: merge only deltas that validate clean.
+    let mut cumulative = base.clone();
+    let mut clean_only = base.clone();
+
+    for seed in 0..400u64 {
+        let delta = clean_delta(&base, seed);
+        assert!(
+            delta.is_empty() || delta.validate_against(&m).is_clean(),
+            "seed {seed}: a thinned copy of a clean profile must be clean"
+        );
+        let (corrupted, kind, landed) = corrupt_profile(&delta, &m, seed);
+
+        let health = corrupted.validate_against(&m);
+        if landed {
+            landed_kinds.insert(kind);
+            assert!(
+                !health.is_clean(),
+                "seed {seed} ({kind}): corruption landed but validation missed it"
+            );
+            assert!(
+                health.issues().iter().any(|i| matches_kind(kind, i)),
+                "seed {seed} ({kind}): no issue of the matching class in {health}"
+            );
+            // Quarantined: never merged.
+            continue;
+        }
+        // Not landed: the delta is unchanged, merging it is safe. Empty
+        // deltas are advisory-flagged but carry no counts either way.
+        if health.is_clean() {
+            cumulative.merge(&corrupted);
+            clean_only.merge(&delta);
+        }
+    }
+
+    assert_eq!(
+        landed_kinds.len(),
+        ProfileChaos::ALL.len(),
+        "the 400-seed window must land every corruption kind: {landed_kinds:?}"
+    );
+    // No corrupted count ever reached the merged profile: merging the
+    // surviving deltas equals merging their pre-corruption originals.
+    assert_eq!(cumulative, clean_only);
+    assert!(cumulative.validate_against(&m).is_clean());
+}
+
+#[test]
+fn quarantine_predicate_rejects_ghost_counts_entirely() {
+    // Direct check of the "never merged" guarantee for the ghost-key
+    // corruptions: the merged profile must contain no key outside the
+    // module universe.
+    let (m, base) = fixture();
+    let mut cumulative = base.clone();
+    for seed in 0..400u64 {
+        let (corrupted, _, landed) = corrupt_profile(&clean_delta(&base, seed), &m, seed);
+        if !landed && corrupted.validate_against(&m).is_clean() {
+            cumulative.merge(&corrupted);
+        }
+    }
+    let ghost_watermark = m.peek_next_site();
+    for (site, _) in cumulative.iter_direct() {
+        assert!(site < SiteId::from_raw(ghost_watermark));
+    }
+    for (site, entries) in cumulative.iter_indirect() {
+        assert!(site < SiteId::from_raw(ghost_watermark));
+        for e in entries {
+            assert!(e.target.index() < m.len(), "ghost target leaked into merge");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Profile deltas and the typed quarantine.
+
+use pibe_profile::{MergeOverflow, Profile, ProfileIssue};
+use serde::{Deserialize, Serialize};
+
+/// One shard's profile report for one epoch: a *delta* of counts observed
+/// since the shard's previous report, to be accumulated into the service's
+/// cumulative profile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileDelta {
+    /// The reporting shard, for attribution in quarantine records.
+    pub shard: u32,
+    /// The shard's own sequence number for this report.
+    pub seq: u64,
+    /// The counts observed since the shard's previous report.
+    pub profile: Profile,
+}
+
+/// Why a delta was quarantined instead of merged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineReason {
+    /// The delta failed validation against the base module: the issues are
+    /// the verbatim findings of
+    /// [`Profile::validate_against`](pibe_profile::Profile::validate_against).
+    Invalid(Vec<ProfileIssue>),
+    /// Merging the delta would have saturated cumulative counters — the
+    /// typed overflow records from
+    /// [`Profile::merge_checked`](pibe_profile::Profile::merge_checked).
+    /// The merge was performed on a scratch clone and discarded, so the
+    /// cumulative profile is untouched.
+    Overflow(Vec<MergeOverflow>),
+}
+
+/// A delta that was rejected, with full attribution: which shard sent it,
+/// in which epoch, and exactly why. Quarantined deltas are never merged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedDelta {
+    /// The epoch during which the delta arrived.
+    pub epoch: u64,
+    /// The offending delta, kept verbatim for offline diagnosis.
+    pub delta: ProfileDelta,
+    /// Why it was rejected.
+    pub reason: QuarantineReason,
+}
+
+impl QuarantinedDelta {
+    /// Whether the delta was rejected by validation (as opposed to merge
+    /// overflow).
+    pub fn is_invalid(&self) -> bool {
+        matches!(self.reason, QuarantineReason::Invalid(_))
+    }
+}

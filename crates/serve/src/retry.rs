@@ -1,0 +1,70 @@
+//! Deterministic bounded retry with exponential backoff.
+
+use std::time::Duration;
+
+/// A bounded retry schedule: at most `1 + max_retries` attempts, sleeping
+/// `base << attempt` before retry `attempt` (attempts are numbered from 0;
+/// no sleep precedes the first attempt). Purely arithmetic — two services
+/// configured identically back off identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt.
+    pub max_retries: u32,
+    /// Base backoff; `Duration::ZERO` disables sleeping entirely.
+    pub base: Duration,
+}
+
+impl RetryPolicy {
+    /// The backoff slept before retry number `retry` (1-based: the sleep
+    /// preceding the second attempt is `backoff(1) = base << 0`).
+    /// Saturates instead of overflowing for absurd retry counts.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if retry == 0 || self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let shift = (retry - 1).min(16);
+        self.base
+            .checked_mul(1u32 << shift)
+            .unwrap_or(Duration::MAX)
+    }
+
+    /// Total attempts the policy allows.
+    pub fn attempts(&self) -> u32 {
+        self.max_retries.saturating_add(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_deterministically() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(10),
+        };
+        assert_eq!(p.attempts(), 4);
+        assert_eq!(p.backoff(0), Duration::ZERO);
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        // Same policy, same schedule.
+        assert_eq!(p.backoff(3), p.backoff(3));
+    }
+
+    #[test]
+    fn zero_base_never_sleeps_and_huge_retries_saturate() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            base: Duration::ZERO,
+        };
+        assert_eq!(p.backoff(7), Duration::ZERO);
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            base: Duration::from_secs(u64::MAX / 2),
+        };
+        assert_eq!(p.backoff(40), Duration::MAX);
+        assert_eq!(p.attempts(), u32::MAX);
+    }
+}

@@ -1,0 +1,310 @@
+//! The service state machine and the replayable epoch journal.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The serve loop's health, always relative to a last-known-good image the
+/// service keeps serving no matter what.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceState {
+    /// The served image was built from the current cumulative profile.
+    #[default]
+    Healthy,
+    /// The last rebuild failed recoverably; the service serves the
+    /// last-known-good image and keeps accepting epochs.
+    Degraded,
+    /// Either an unrecoverable pipeline error or
+    /// [`freeze_after`](crate::ServeConfig::freeze_after) consecutive
+    /// failed epochs: the service stops rebuilding (and merging) until an
+    /// operator [`thaw`](crate::PibeService::thaw)s it. The last-known-good
+    /// image is still served.
+    Frozen,
+}
+
+impl fmt::Display for ServiceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServiceState::Healthy => "healthy",
+            ServiceState::Degraded => "degraded",
+            ServiceState::Frozen => "frozen",
+        })
+    }
+}
+
+/// What one epoch did to the served image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpochOutcome {
+    /// The merged deltas left every profile-driven decision unchanged
+    /// (decision-surface equality): the cumulative profile advanced, the
+    /// image did not need to change, and no pipeline ran.
+    FastPath,
+    /// Decisions drifted and the guarded rebuild succeeded; the new image
+    /// is now last-known-good.
+    Rebuilt {
+        /// Functions whose decisions drifted (what forced the rebuild).
+        drifted: usize,
+        /// Recoverable failures retried before the successful attempt.
+        retries: u32,
+    },
+    /// Decisions drifted but every rebuild attempt failed; the epoch's
+    /// merge was rolled back and the previous last-known-good image is
+    /// still served.
+    RolledBack {
+        /// The final attempt's error, rendered.
+        error: String,
+        /// Whether that error was recoverable (unrecoverable errors freeze
+        /// the service immediately).
+        recoverable: bool,
+        /// Failed attempts beyond the first.
+        retries: u32,
+    },
+    /// The epoch arrived while the service was frozen: nothing was merged,
+    /// nothing was rebuilt.
+    Frozen,
+}
+
+/// One epoch's journal entry: everything needed to replay the state
+/// machine offline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// The epoch number (journal position).
+    pub epoch: u64,
+    /// Deltas that arrived.
+    pub deltas: usize,
+    /// Deltas merged into the cumulative profile.
+    pub accepted: usize,
+    /// Deltas quarantined by validation.
+    pub quarantined: usize,
+    /// Deltas rejected because merging them would overflow counters.
+    pub overflow_rejected: usize,
+    /// Functions whose profile-driven decisions drifted this epoch.
+    pub drifted_functions: usize,
+    /// What the epoch did.
+    pub outcome: EpochOutcome,
+    /// The service state after the epoch.
+    pub state_after: ServiceState,
+}
+
+/// Aggregate counters recomputed from a journal by [`EpochJournal::replay`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplaySummary {
+    /// The state the machine ends in.
+    pub state: ServiceState,
+    /// Epochs that took the no-drift fast path.
+    pub fast_paths: u64,
+    /// Epochs that rebuilt successfully.
+    pub rebuilds: u64,
+    /// Epochs rolled back after failed rebuilds.
+    pub rollbacks: u64,
+    /// Epochs refused while frozen.
+    pub frozen_epochs: u64,
+    /// Total deltas quarantined by validation.
+    pub quarantined: u64,
+    /// Total deltas rejected for merge overflow.
+    pub overflow_rejected: u64,
+}
+
+/// An append-only record of every epoch the service processed. The journal
+/// carries the freeze threshold it was recorded under, so
+/// [`replay`](Self::replay) is self-contained: feeding the records through
+/// the state machine must land in exactly the state the live service is in
+/// — the crash-recovery and audit story in one structure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochJournal {
+    /// The freeze threshold the recording service ran with.
+    pub freeze_after: u32,
+    /// The records, in epoch order.
+    pub records: Vec<EpochRecord>,
+    /// Epoch numbers an operator [`thaw`](crate::PibeService::thaw) took
+    /// effect *before* (i.e. the [`next_epoch`](Self::next_epoch) at thaw
+    /// time). Interventions are part of the history — without them a replay
+    /// could not land in the live state.
+    pub thaws: Vec<u64>,
+}
+
+impl EpochJournal {
+    /// An empty journal for a service with the given freeze threshold.
+    pub fn new(freeze_after: u32) -> Self {
+        EpochJournal {
+            freeze_after,
+            records: Vec::new(),
+            thaws: Vec::new(),
+        }
+    }
+
+    /// The next epoch number.
+    pub fn next_epoch(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Appends a record (the service's only write path).
+    pub fn push(&mut self, record: EpochRecord) {
+        debug_assert_eq!(record.epoch, self.next_epoch());
+        self.records.push(record);
+    }
+
+    /// Records an operator thaw taking effect before the next epoch.
+    pub fn record_thaw(&mut self) {
+        self.thaws.push(self.next_epoch());
+    }
+
+    /// Replays the state machine over the recorded outcomes from a cold
+    /// start, returning the resulting state and aggregate counters.
+    ///
+    /// The transition rules are the service's own: a successful rebuild
+    /// resets the consecutive-failure counter and returns to
+    /// [`ServiceState::Healthy`]; a fast path preserves the current state
+    /// (it proves nothing about the pipeline); a recoverable rollback
+    /// degrades, and [`freeze_after`](Self::freeze_after) consecutive
+    /// rollbacks — or one unrecoverable error — freeze. Quarantined deltas
+    /// never affect state by themselves. Recorded operator thaws are
+    /// applied at the epoch boundary they took effect at.
+    pub fn replay(&self) -> ReplaySummary {
+        let mut summary = ReplaySummary::default();
+        let mut consecutive = 0u32;
+        let mut thaws = self.thaws.iter().peekable();
+        let mut apply_thaws = |upto: u64, summary: &mut ReplaySummary, consecutive: &mut u32| {
+            while thaws.next_if(|&&at| at <= upto).is_some() {
+                summary.state = ServiceState::Healthy;
+                *consecutive = 0;
+            }
+        };
+        for r in &self.records {
+            apply_thaws(r.epoch, &mut summary, &mut consecutive);
+            summary.quarantined += r.quarantined as u64;
+            summary.overflow_rejected += r.overflow_rejected as u64;
+            match &r.outcome {
+                EpochOutcome::FastPath => summary.fast_paths += 1,
+                EpochOutcome::Rebuilt { .. } => {
+                    summary.rebuilds += 1;
+                    consecutive = 0;
+                    summary.state = ServiceState::Healthy;
+                }
+                EpochOutcome::RolledBack { recoverable, .. } => {
+                    summary.rollbacks += 1;
+                    if *recoverable {
+                        consecutive += 1;
+                        summary.state = if consecutive >= self.freeze_after {
+                            ServiceState::Frozen
+                        } else {
+                            ServiceState::Degraded
+                        };
+                    } else {
+                        summary.state = ServiceState::Frozen;
+                    }
+                }
+                EpochOutcome::Frozen => summary.frozen_epochs += 1,
+            }
+        }
+        apply_thaws(u64::MAX, &mut summary, &mut consecutive);
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: u64, outcome: EpochOutcome, state_after: ServiceState) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            deltas: 4,
+            accepted: 3,
+            quarantined: 1,
+            overflow_rejected: 0,
+            drifted_functions: 0,
+            outcome,
+            state_after,
+        }
+    }
+
+    fn rollback() -> EpochOutcome {
+        EpochOutcome::RolledBack {
+            error: "stage inline produced an invalid module".into(),
+            recoverable: true,
+            retries: 2,
+        }
+    }
+
+    #[test]
+    fn replay_walks_degraded_to_frozen_and_back_through_recovery() {
+        let mut j = EpochJournal::new(2);
+        j.push(record(0, EpochOutcome::FastPath, ServiceState::Healthy));
+        j.push(record(1, rollback(), ServiceState::Degraded));
+        // A fast path between failures proves nothing: still degraded, and
+        // the consecutive-failure count survives.
+        j.push(record(2, EpochOutcome::FastPath, ServiceState::Degraded));
+        let s = j.replay();
+        assert_eq!(s.state, ServiceState::Degraded);
+        assert_eq!((s.fast_paths, s.rollbacks), (2, 1));
+
+        // A successful rebuild resets the counter...
+        let mut recovered = j.clone();
+        recovered.push(record(
+            3,
+            EpochOutcome::Rebuilt {
+                drifted: 5,
+                retries: 1,
+            },
+            ServiceState::Healthy,
+        ));
+        recovered.push(record(4, rollback(), ServiceState::Degraded));
+        assert_eq!(recovered.replay().state, ServiceState::Degraded);
+
+        // ...while a second consecutive rollback freezes at threshold 2.
+        j.push(record(3, rollback(), ServiceState::Frozen));
+        j.push(record(4, EpochOutcome::Frozen, ServiceState::Frozen));
+        let s = j.replay();
+        assert_eq!(s.state, ServiceState::Frozen);
+        assert_eq!(s.frozen_epochs, 1);
+    }
+
+    #[test]
+    fn recorded_thaws_reset_the_machine_at_their_epoch_boundary() {
+        let mut j = EpochJournal::new(2);
+        j.push(record(0, rollback(), ServiceState::Degraded));
+        j.push(record(1, rollback(), ServiceState::Frozen));
+        j.record_thaw();
+        // The thaw lands before epoch 2: one fresh failure only degrades.
+        j.push(record(2, rollback(), ServiceState::Degraded));
+        assert_eq!(j.replay().state, ServiceState::Degraded);
+
+        // A trailing thaw (no epoch after it yet) is applied too.
+        j.push(record(3, rollback(), ServiceState::Frozen));
+        j.record_thaw();
+        assert_eq!(j.replay().state, ServiceState::Healthy);
+    }
+
+    #[test]
+    fn unrecoverable_errors_freeze_immediately() {
+        let mut j = EpochJournal::new(100);
+        j.push(record(
+            0,
+            EpochOutcome::RolledBack {
+                error: "audit rejected the image".into(),
+                recoverable: false,
+                retries: 0,
+            },
+            ServiceState::Frozen,
+        ));
+        assert_eq!(j.replay().state, ServiceState::Frozen);
+    }
+
+    #[test]
+    fn journal_round_trips_through_json() {
+        let mut j = EpochJournal::new(3);
+        j.push(record(0, rollback(), ServiceState::Degraded));
+        j.push(record(
+            1,
+            EpochOutcome::Rebuilt {
+                drifted: 2,
+                retries: 0,
+            },
+            ServiceState::Healthy,
+        ));
+        let text = serde_json::to_string(&j).expect("serializes");
+        let back: EpochJournal = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back, j);
+        assert_eq!(back.replay(), j.replay());
+    }
+}

@@ -258,6 +258,22 @@ impl TraceData {
             && self.histograms.is_empty()
     }
 
+    /// Instant events named `name`, across all tracks.
+    pub fn event_count(&self, name: &str) -> usize {
+        self.events.iter().filter(|e| e.name == name).count()
+    }
+
+    /// The final sampled value of counter `name` (counters are absolute
+    /// values, so the chronologically last sample is the total); `None`
+    /// when the counter was never sampled.
+    pub fn last_counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .max_by_key(|c| c.ts_ns)
+            .map(|c| c.value)
+    }
+
     /// The structural skeleton of the span forest: one `(track, depth,
     /// name)` triple per span in per-track open order. Timestamps and ids
     /// are excluded, so for a deterministic workload two runs compare
@@ -654,6 +670,27 @@ mod tests {
     fn lock() -> std::sync::MutexGuard<'static, ()> {
         static GATE: Mutex<()> = Mutex::new(());
         GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn event_counts_and_final_counter_values_aggregate() {
+        let _g = lock();
+        set_enabled(true);
+        {
+            let _s = span("epoch");
+            event("serve.quarantine");
+            event("serve.quarantine");
+            event("serve.fast_path");
+            counter("serve.quarantine_total", 1);
+            counter("serve.quarantine_total", 2);
+        }
+        let data = take();
+        set_enabled(false);
+        assert_eq!(data.event_count("serve.quarantine"), 2);
+        assert_eq!(data.event_count("serve.fast_path"), 1);
+        assert_eq!(data.event_count("absent"), 0);
+        assert_eq!(data.last_counter("serve.quarantine_total"), Some(2));
+        assert_eq!(data.last_counter("absent"), None);
     }
 
     #[test]

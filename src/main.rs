@@ -34,6 +34,12 @@
 //! so baselines committed before the multi-arch backends remain
 //! comparable; the ARM and RISC-V builds of the paper-optimal
 //! configuration are timed separately under `arch_stages_ns`.
+//!
+//! The second subcommand, `serve-bench`, times the continuous-PGO epoch
+//! loop instead of individual builds — see [`serve_bench`] for its flags
+//! and the `BENCH_serve.json` record it emits.
+
+mod serve_bench;
 
 use pibe::{Arch, BuildMetrics, Image, PibeConfig};
 use pibe_harden::DefenseSet;
@@ -63,7 +69,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: pibe-suite bench [--scale F] [--iters N] [--rounds N] \
          [--threads N] [--repeat N] [--out PATH] [--baseline PATH] \
-         [--tolerance PCT]"
+         [--tolerance PCT]\n\
+         \x20      pibe-suite serve-bench [--scales F,F,..] [--epochs N] \
+         [--iters N] [--rounds N] [--threads N] [--drift-sites N] \
+         [--out PATH] [--baseline PATH] [--tolerance PCT]"
     );
     std::process::exit(2);
 }
@@ -72,6 +81,10 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     match it.next().as_deref() {
         Some("bench") => {}
+        Some("serve-bench") => {
+            serve_bench::run(it);
+            std::process::exit(0);
+        }
         _ => usage(),
     }
     let mut args = Args {

@@ -57,10 +57,10 @@ impl ModuleCorruption {
         let mut rng = ChaosRng::new(seed ^ 0x0DDC_0FFE_E0DD);
         match self {
             ModuleCorruption::DanglingCallee => {
-                let mut sites: Vec<(FuncId, usize, usize)> = Vec::new();
+                let mut sites: Vec<(FuncId, BlockId, usize)> = Vec::new();
                 for f in module.functions() {
-                    for (b, block) in f.blocks().iter().enumerate() {
-                        for (i, inst) in block.insts.iter().enumerate() {
+                    for (b, block) in f.iter_blocks() {
+                        for (i, inst) in block.insts().iter().enumerate() {
                             if matches!(inst, Inst::Call { .. }) {
                                 sites.push((f.id(), b, i));
                             }
@@ -71,32 +71,32 @@ impl ModuleCorruption {
                     return false;
                 };
                 let ghost = FuncId::from_raw(module.len() as u32 + 1 + rng.below(1 << 10) as u32);
-                let inst = &mut module.function_mut(func).blocks_mut()[b].insts[i];
+                let inst = &mut module.function_mut(func).block_insts_mut(b)[i];
                 if let Inst::Call { callee, .. } = inst {
                     *callee = ghost;
                 }
                 true
             }
             ModuleCorruption::DanglingBlock => {
-                let mut blocks: Vec<(FuncId, usize)> = Vec::new();
+                let mut blocks: Vec<(FuncId, BlockId)> = Vec::new();
                 for f in module.functions() {
-                    for b in 0..f.blocks().len() {
-                        blocks.push((f.id(), b));
+                    for b in 0..f.num_blocks() {
+                        blocks.push((f.id(), BlockId::from_raw(b as u32)));
                     }
                 }
                 let Some(&(func, b)) = pick(&blocks, &mut rng) else {
                     return false;
                 };
-                let nblocks = module.function(func).blocks().len() as u32;
+                let nblocks = module.function(func).num_blocks() as u32;
                 let ghost = BlockId::from_raw(nblocks + 1 + rng.below(1 << 8) as u32);
-                module.function_mut(func).blocks_mut()[b].term = Terminator::Jump { target: ghost };
+                *module.function_mut(func).term_mut(b) = Terminator::Jump { target: ghost };
                 true
             }
             ModuleCorruption::MalformedSwitch => {
-                let mut switches: Vec<(FuncId, usize)> = Vec::new();
+                let mut switches: Vec<(FuncId, BlockId)> = Vec::new();
                 for f in module.functions() {
-                    for (b, block) in f.blocks().iter().enumerate() {
-                        if let Terminator::Switch { weights, .. } = &block.term {
+                    for (b, block) in f.iter_blocks() {
+                        if let Terminator::Switch { weights, .. } = block.term() {
                             if !weights.is_empty() {
                                 switches.push((f.id(), b));
                             }
@@ -106,9 +106,7 @@ impl ModuleCorruption {
                 let Some(&(func, b)) = pick(&switches, &mut rng) else {
                     return false;
                 };
-                if let Terminator::Switch { weights, .. } =
-                    &mut module.function_mut(func).blocks_mut()[b].term
-                {
+                if let Terminator::Switch { weights, .. } = module.function_mut(func).term_mut(b) {
                     weights.pop();
                 }
                 true
@@ -119,14 +117,9 @@ impl ModuleCorruption {
                     return false;
                 };
                 let mut changed = false;
-                for (b, block) in module
-                    .function_mut(func)
-                    .blocks_mut()
-                    .iter_mut()
-                    .enumerate()
-                {
-                    if matches!(block.term, Terminator::Return) {
-                        block.term = Terminator::Jump {
+                for (b, term) in module.function_mut(func).terms_mut().enumerate() {
+                    if matches!(term, Terminator::Return) {
+                        *term = Terminator::Jump {
                             target: BlockId::from_raw(b as u32),
                         };
                         changed = true;
@@ -187,14 +180,14 @@ impl SemanticCorruption {
         let mut rng = ChaosRng::new(seed ^ 0x05EE_DBAD_5EED);
         match self {
             SemanticCorruption::SwapBranchArms => {
-                let mut branches: Vec<(FuncId, usize)> = Vec::new();
+                let mut branches: Vec<(FuncId, BlockId)> = Vec::new();
                 for f in module.functions() {
-                    for (b, block) in f.blocks().iter().enumerate() {
+                    for (b, block) in f.iter_blocks() {
                         if let Terminator::Branch {
                             cond: pibe_ir::Cond::Random { .. },
                             then_bb,
                             else_bb,
-                        } = &block.term
+                        } = block.term()
                         {
                             if then_bb != else_bb {
                                 branches.push((f.id(), b));
@@ -207,7 +200,7 @@ impl SemanticCorruption {
                 };
                 if let Terminator::Branch {
                     then_bb, else_bb, ..
-                } = &mut module.function_mut(func).blocks_mut()[b].term
+                } = module.function_mut(func).term_mut(b)
                 {
                     std::mem::swap(then_bb, else_bb);
                 }
@@ -217,10 +210,10 @@ impl SemanticCorruption {
                 if module.len() < 2 {
                     return false;
                 }
-                let mut sites: Vec<(FuncId, usize, usize, FuncId)> = Vec::new();
+                let mut sites: Vec<(FuncId, BlockId, usize, FuncId)> = Vec::new();
                 for f in module.functions() {
-                    for (b, block) in f.blocks().iter().enumerate() {
-                        for (i, inst) in block.insts.iter().enumerate() {
+                    for (b, block) in f.iter_blocks() {
+                        for (i, inst) in block.insts().iter().enumerate() {
                             if let Inst::Call { callee, .. } = inst {
                                 sites.push((f.id(), b, i, *callee));
                             }
@@ -240,17 +233,17 @@ impl SemanticCorruption {
                     return false;
                 };
                 if let Inst::Call { callee, .. } =
-                    &mut module.function_mut(func).blocks_mut()[b].insts[i]
+                    &mut module.function_mut(func).block_insts_mut(b)[i]
                 {
                     *callee = wrong;
                 }
                 true
             }
             SemanticCorruption::DropOp => {
-                let mut ops: Vec<(FuncId, usize, usize)> = Vec::new();
+                let mut ops: Vec<(FuncId, BlockId, usize)> = Vec::new();
                 for f in module.functions() {
-                    for (b, block) in f.blocks().iter().enumerate() {
-                        for (i, inst) in block.insts.iter().enumerate() {
+                    for (b, block) in f.iter_blocks() {
+                        for (i, inst) in block.insts().iter().enumerate() {
                             if matches!(inst, Inst::Op(_)) {
                                 ops.push((f.id(), b, i));
                             }
@@ -260,7 +253,7 @@ impl SemanticCorruption {
                 let Some(&(func, b, i)) = pick(&ops, &mut rng) else {
                     return false;
                 };
-                module.function_mut(func).blocks_mut()[b].insts.remove(i);
+                module.function_mut(func).remove_inst(b, i);
                 true
             }
         }

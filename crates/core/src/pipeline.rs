@@ -1021,7 +1021,7 @@ mod tests {
         b.op(pibe_ir::OpKind::Alu);
         b.ret();
         let f = m.add_function(b.build());
-        m.function_mut(f).blocks_mut()[0].term = pibe_ir::Terminator::Jump {
+        *m.function_mut(f).term_mut(pibe_ir::BlockId::ENTRY) = pibe_ir::Terminator::Jump {
             target: pibe_ir::BlockId::from_raw(0),
         };
         let p = Profile::new();

@@ -53,8 +53,7 @@ fn asm_icalls(module: &Module) -> u64 {
     module
         .functions()
         .iter()
-        .flat_map(|f| f.blocks())
-        .flat_map(|b| b.insts.iter())
+        .flat_map(|f| f.insts())
         .filter(|i| matches!(i, Inst::CallIndirect { asm: true, .. }))
         .count() as u64
 }

@@ -51,7 +51,9 @@ fn without_function(case: &Case, victim: usize) -> Option<Case> {
             continue;
         }
         let mut nf = Function::clone(f);
-        for block in nf.blocks_mut() {
+        // Structural edit: materialize owned blocks, filter, repack pools.
+        let mut blocks = nf.to_blocks();
+        for block in &mut blocks {
             block.insts.retain_mut(|inst| match inst {
                 Inst::Call { callee, .. } => match remap(*callee) {
                     Some(c) => {
@@ -63,6 +65,7 @@ fn without_function(case: &Case, victim: usize) -> Option<Case> {
                 _ => true,
             });
         }
+        nf.set_blocks(blocks);
         m.add_function(nf);
     }
     let mut resolver = case.resolver.clone();
@@ -93,8 +96,9 @@ fn candidates(case: &Case) -> Vec<Case> {
     // 2. Flatten control flow: branch → jump (either arm), switch → jump to
     //    default.
     for fid in case.module.func_ids() {
-        for bi in 0..case.module.function(fid).blocks().len() {
-            let term = case.module.function(fid).blocks()[bi].term.clone();
+        for bi in 0..case.module.function(fid).num_blocks() {
+            let bid = pibe_ir::BlockId::from_raw(bi as u32);
+            let term = case.module.function(fid).term(bid).clone();
             let replacements: Vec<Terminator> = match &term {
                 Terminator::Branch {
                     then_bb, else_bb, ..
@@ -109,7 +113,7 @@ fn candidates(case: &Case) -> Vec<Case> {
             };
             for r in replacements {
                 let mut c = case.clone();
-                c.module.function_mut(fid).blocks_mut()[bi].term = r;
+                *c.module.function_mut(fid).term_mut(bid) = r;
                 out.push(c);
             }
         }
@@ -118,20 +122,20 @@ fn candidates(case: &Case) -> Vec<Case> {
     // 3. Delete instructions: all plain ops in a block at once, then the
     //    block's first call.
     for fid in case.module.func_ids() {
-        for bi in 0..case.module.function(fid).blocks().len() {
-            let block = &case.module.function(fid).blocks()[bi];
-            if block.insts.iter().any(|i| matches!(i, Inst::Op(_))) {
+        for bi in 0..case.module.function(fid).num_blocks() {
+            let bid = pibe_ir::BlockId::from_raw(bi as u32);
+            let block = case.module.function(fid).block(bid);
+            if block.insts().iter().any(|i| matches!(i, Inst::Op(_))) {
                 let mut c = case.clone();
-                c.module.function_mut(fid).blocks_mut()[bi]
-                    .insts
-                    .retain(|i| !matches!(i, Inst::Op(_)));
+                let nf = c.module.function_mut(fid);
+                let mut blocks = nf.to_blocks();
+                blocks[bi].insts.retain(|i| !matches!(i, Inst::Op(_)));
+                nf.set_blocks(blocks);
                 out.push(c);
             }
-            if let Some(pos) = block.insts.iter().position(|i| i.is_call()) {
+            if let Some(pos) = block.insts().iter().position(|i| i.is_call()) {
                 let mut c = case.clone();
-                c.module.function_mut(fid).blocks_mut()[bi]
-                    .insts
-                    .remove(pos);
+                c.module.function_mut(fid).remove_inst(bid, pos);
                 out.push(c);
             }
         }
@@ -163,9 +167,9 @@ fn candidates(case: &Case) -> Vec<Case> {
 fn size_of(case: &Case) -> usize {
     let mut n = case.module.len() * 16 + case.runs as usize;
     for f in case.module.functions() {
-        for b in f.blocks() {
-            n += 2 + b.insts.len() * 2;
-            n += match &b.term {
+        for (_, b) in f.iter_blocks() {
+            n += 2 + b.insts().len() * 2;
+            n += match b.term() {
                 Terminator::Jump { .. } | Terminator::Return => 1,
                 Terminator::Branch { .. } => 3,
                 Terminator::Switch { cases, .. } => 3 + cases.len(),

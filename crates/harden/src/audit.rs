@@ -95,17 +95,18 @@ pub fn audit(module: &Module, defenses: DefenseSet) -> SecurityAudit {
     };
     for f in module.functions() {
         let boot = f.attrs().boot_only;
-        for block in f.blocks() {
-            for inst in &block.insts {
-                if let Inst::CallIndirect { asm, .. } = inst {
-                    if *asm || !defenses.hardens_forward() {
-                        a.vulnerable_icalls += 1;
-                    } else {
-                        a.protected_icalls += 1;
-                    }
+        // Flat pool scan (tombstones are plain ops), then the terminators.
+        for inst in f.insts() {
+            if let Inst::CallIndirect { asm, .. } = inst {
+                if *asm || !defenses.hardens_forward() {
+                    a.vulnerable_icalls += 1;
+                } else {
+                    a.protected_icalls += 1;
                 }
             }
-            match &block.term {
+        }
+        for term in f.terms() {
+            match term {
                 Terminator::Switch { via_table, .. } if *via_table => {
                     // A surviving jump table is always a Spectre V2 surface.
                     a.vulnerable_ijumps += 1;
@@ -154,17 +155,17 @@ pub fn audit_backend(
     };
     for f in module.functions() {
         let attrs = f.attrs();
-        for (i, block) in f.blocks().iter().enumerate() {
-            for inst in &block.insts {
-                if let Inst::CallIndirect { asm, .. } = inst {
-                    if *asm || !backend.hardens_forward(defenses) {
-                        a.vulnerable_icalls += 1;
-                    } else {
-                        a.protected_icalls += 1;
-                    }
+        for inst in f.insts() {
+            if let Inst::CallIndirect { asm, .. } = inst {
+                if *asm || !backend.hardens_forward(defenses) {
+                    a.vulnerable_icalls += 1;
+                } else {
+                    a.protected_icalls += 1;
                 }
             }
-            match &block.term {
+        }
+        for (i, term) in f.terms().enumerate() {
+            match term {
                 Terminator::Switch { via_table, .. } if *via_table => {
                     if backend.protects_jump_tables(defenses) {
                         a.protected_ijumps += 1;

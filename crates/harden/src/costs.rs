@@ -94,13 +94,14 @@ pub fn hardened_image_bytes(module: &pibe_ir::Module, d: DefenseSet) -> u64 {
     use pibe_ir::{Inst, Terminator};
     let mut bytes = module.code_bytes() + shared_thunk_bytes(d);
     for f in module.functions() {
-        for block in f.blocks() {
-            for inst in &block.insts {
-                if let Inst::CallIndirect { asm: false, .. } = inst {
-                    bytes += u64::from(forward_site_bytes(d));
-                }
+        // Flat pool scan (tombstones are plain ops), then terminators.
+        for inst in f.insts() {
+            if let Inst::CallIndirect { asm: false, .. } = inst {
+                bytes += u64::from(forward_site_bytes(d));
             }
-            if matches!(block.term, Terminator::Return) {
+        }
+        for term in f.terms() {
+            if matches!(term, Terminator::Return) {
                 bytes += u64::from(return_site_bytes(d));
             }
         }

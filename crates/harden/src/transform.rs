@@ -290,11 +290,10 @@ fn harden_function(
     f: &std::sync::Arc<pibe_ir::Function>,
 ) -> (Option<std::sync::Arc<pibe_ir::Function>>, u64, u64) {
     let tables = f
-        .blocks()
-        .iter()
-        .filter(|b| {
+        .terms()
+        .filter(|t| {
             matches!(
-                b.term,
+                t,
                 Terminator::Switch {
                     via_table: true,
                     ..
@@ -309,8 +308,8 @@ fn harden_function(
         return (None, 0, tables);
     }
     let mut nf = pibe_ir::Function::clone(f);
-    for block in nf.blocks_mut() {
-        if let Terminator::Switch { via_table, .. } = &mut block.term {
+    for term in nf.terms_mut() {
+        if let Terminator::Switch { via_table, .. } = term {
             *via_table = false;
         }
     }

@@ -23,7 +23,7 @@ use crate::inst::{Cond, Inst, OpKind, Terminator};
 /// b.switch_to(exit);
 /// b.ret();
 /// let f = b.build();
-/// assert_eq!(f.blocks().len(), 2);
+/// assert_eq!(f.num_blocks(), 2);
 /// ```
 #[derive(Debug)]
 pub struct FunctionBuilder {
@@ -218,7 +218,7 @@ mod tests {
         b.ops(OpKind::Alu, 3);
         b.ret();
         let f = b.build();
-        assert_eq!(f.blocks().len(), 1);
+        assert_eq!(f.num_blocks(), 1);
         assert_eq!(f.inst_count(), 3);
         assert_eq!(f.arg_count(), 2);
         assert_eq!(f.return_sites(), 1);
@@ -241,8 +241,8 @@ mod tests {
         b.switch_to(merge);
         b.ret();
         let f = b.build();
-        assert_eq!(f.blocks().len(), 4);
-        let succ: Vec<_> = f.block(BlockId::ENTRY).term.successors().collect();
+        assert_eq!(f.num_blocks(), 4);
+        let succ: Vec<_> = f.block(BlockId::ENTRY).term().successors().collect();
         assert_eq!(succ, vec![then_bb, else_bb]);
     }
 

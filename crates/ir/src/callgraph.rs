@@ -42,16 +42,16 @@ impl CallGraph {
         let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
         let mut sites: Vec<Vec<SiteId>> = vec![Vec::new(); n];
         for f in module.functions() {
-            for block in f.blocks() {
-                for inst in &block.insts {
-                    if let Inst::Call { site, callee, .. } = inst {
-                        callees[f.id().index()].push(*callee);
-                        sites[f.id().index()].push(*site);
-                    }
+            // Flat pool scan: block structure is irrelevant here and
+            // tombstones are plain `Op`s, so one pass over the pool suffices.
+            for inst in f.insts() {
+                if let Inst::Call { site, callee, .. } = inst {
+                    callees[f.id().index()].push(*callee);
+                    sites[f.id().index()].push(*site);
                 }
             }
         }
-        let recursive = find_recursive(n, &callees);
+        let recursive = tarjan_recursive(n, |i| callees[i].as_slice());
         CallGraph {
             callees,
             sites,
@@ -156,9 +156,27 @@ impl CallGraph {
     }
 }
 
+/// Per-function recursion marks straight from a flat CSR adjacency:
+/// `callees[offsets[i] .. offsets[i + 1]]` are function `i`'s direct
+/// callees (with multiplicity). `offsets` has one trailing entry, so it is
+/// one longer than the function count.
+///
+/// This is the allocation-light path for consumers that only need the
+/// *recursive?* answer — notably the inliner, which rejects recursive
+/// callees (§5.2) but never walks edges: inlining only ever shortcuts
+/// existing paths, so the marks stay valid while it transforms the module.
+/// Building a full [`CallGraph`] materializes two per-caller `Vec`s per
+/// function; this touches three flat arrays.
+pub fn recursive_marks(offsets: &[u32], callees: &[FuncId]) -> Vec<bool> {
+    let n = offsets.len().saturating_sub(1);
+    tarjan_recursive(n, |i| {
+        &callees[offsets[i] as usize..offsets[i + 1] as usize]
+    })
+}
+
 /// Marks every function that belongs to a nontrivial SCC or has a self loop,
-/// using Tarjan's algorithm (iterative).
-fn find_recursive(n: usize, callees: &[Vec<FuncId>]) -> Vec<bool> {
+/// using Tarjan's algorithm (iterative) over any slice-adjacency.
+fn tarjan_recursive<'a>(n: usize, callees: impl Fn(usize) -> &'a [FuncId]) -> Vec<bool> {
     let mut index = vec![usize::MAX; n];
     let mut low = vec![0usize; n];
     let mut on_stack = vec![false; n];
@@ -179,7 +197,7 @@ fn find_recursive(n: usize, callees: &[Vec<FuncId>]) -> Vec<bool> {
         on_stack[root] = true;
 
         while let Some(&mut (node, ref mut child_idx)) = work.last_mut() {
-            let outs = &callees[node];
+            let outs = callees(node);
             if *child_idx < outs.len() {
                 let next = outs[*child_idx].index();
                 *child_idx += 1;
@@ -212,7 +230,7 @@ fn find_recursive(n: usize, callees: &[Vec<FuncId>]) -> Vec<bool> {
                     } else {
                         // Self-loop?
                         let m = members[0];
-                        if callees[m].iter().any(|c| c.index() == m) {
+                        if callees(m).iter().any(|c| c.index() == m) {
                             recursive[m] = true;
                         }
                     }

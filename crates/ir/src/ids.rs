@@ -1,7 +1,17 @@
 //! Typed identifiers for IR entities.
+//!
+//! Everything the IR refers to by identity is a `u32`-sized newtype:
+//! [`FuncId`] and [`BlockId`] are dense indices into the module's function
+//! list and a function's block pool respectively, [`Symbol`] is an index
+//! into the process-wide string interner, and [`SiteId`] is the stable
+//! profile identity of a call site. Keeping identifiers word-sized (instead
+//! of `String` keys or boxed nodes) is what lets the pass pipeline run as
+//! linear scans over contiguous pools — see `docs/IR.md`.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
 
 /// Identifies a function within a [`Module`](crate::Module).
 ///
@@ -88,6 +98,117 @@ impl fmt::Display for SiteId {
     }
 }
 
+/// An interned string: the name of a function (or any other identifier-like
+/// string the IR wants to compare by identity).
+///
+/// Symbols are indices into a process-wide, append-only string table.
+/// Interning the same text always yields the same `Symbol`, so equality and
+/// hashing are single `u32` comparisons and cloning a [`Function`] no longer
+/// copies its name. The backing storage is leaked (`&'static str`), which is
+/// bounded by the number of *distinct* names a process ever creates.
+///
+/// [`Function`]: crate::Function
+///
+/// Two deliberate omissions:
+///
+/// * **No `Ord`.** Symbol values are assigned in interning order, which can
+///   differ between runs (or thread interleavings); ordering by symbol would
+///   be nondeterministic. Sort by [`Symbol::as_str`] where an order matters.
+/// * **Serde round-trips through the text**, never the raw index, so
+///   serialized modules are stable across processes.
+///
+/// ```
+/// use pibe_ir::Symbol;
+/// let a = Symbol::intern("sys_read");
+/// let b = Symbol::intern("sys_read");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "sys_read");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+/// The process-wide interner: text → id plus the id → text table.
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `text`, returning its canonical symbol. Idempotent: the same
+    /// text always maps to the same symbol for the life of the process.
+    pub fn intern(text: &str) -> Symbol {
+        let lock = interner();
+        // Fast path: already interned (read lock only).
+        if let Some(&i) = lock.read().expect("interner poisoned").map.get(text) {
+            return Symbol(i);
+        }
+        let mut w = lock.write().expect("interner poisoned");
+        // Re-check: another thread may have interned it between the locks.
+        if let Some(&i) = w.map.get(text) {
+            return Symbol(i);
+        }
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let i = u32::try_from(w.strings.len()).expect("interner overflow");
+        w.strings.push(leaked);
+        w.map.insert(leaked, i);
+        Symbol(i)
+    }
+
+    /// Looks `text` up without interning it. `None` means no function (or
+    /// other symbol user) ever carried this name.
+    pub fn lookup(text: &str) -> Option<Symbol> {
+        interner()
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(text)
+            .copied()
+            .map(Symbol)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner poisoned").strings[self.0 as usize]
+    }
+
+    /// The raw table index — diagnostics only. Indices are process-local;
+    /// never persist or compare them across processes.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for Symbol {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Symbol {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Ok(Symbol::intern(s)),
+            _ => Err(serde::DeError::expected("string", "Symbol")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +230,28 @@ mod tests {
     fn site_id_ordering_follows_raw() {
         assert!(SiteId::from_raw(1) < SiteId::from_raw(2));
         assert_eq!(SiteId::from_raw(9).raw(), 9);
+    }
+
+    #[test]
+    fn symbols_canonicalize_text() {
+        let a = Symbol::intern("interner_test_alpha");
+        let b = Symbol::intern("interner_test_alpha");
+        let c = Symbol::intern("interner_test_beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "interner_test_alpha");
+        assert_eq!(Symbol::lookup("interner_test_alpha"), Some(a));
+        assert_eq!(Symbol::lookup("interner_test_never_interned"), None);
+        assert_eq!(a.to_string(), "interner_test_alpha");
+    }
+
+    #[test]
+    fn symbols_serialize_as_text_not_index() {
+        let s = Symbol::intern("interner_serde_roundtrip");
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "\"interner_serde_roundtrip\"");
+        let back: Symbol = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

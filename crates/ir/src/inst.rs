@@ -163,19 +163,28 @@ pub enum Terminator {
 impl Terminator {
     /// Iterates over all successor blocks.
     pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
-        let slice: Vec<BlockId> = match self {
-            Terminator::Jump { target } => vec![*target],
+        // Allocation-free: two inline slots cover jumps and branches, the
+        // switch case list is borrowed, and the trailing slot carries the
+        // switch default (order: cases, then default).
+        let (a, b, cases, last): (
+            Option<BlockId>,
+            Option<BlockId>,
+            &[BlockId],
+            Option<BlockId>,
+        ) = match self {
+            Terminator::Jump { target } => (Some(*target), None, &[], None),
             Terminator::Branch {
                 then_bb, else_bb, ..
-            } => vec![*then_bb, *else_bb],
+            } => (Some(*then_bb), Some(*else_bb), &[], None),
             Terminator::Switch { cases, default, .. } => {
-                let mut v = cases.clone();
-                v.push(*default);
-                v
+                (None, None, cases.as_slice(), Some(*default))
             }
-            Terminator::Return => vec![],
+            Terminator::Return => (None, None, &[], None),
         };
-        slice.into_iter()
+        a.into_iter()
+            .chain(b)
+            .chain(cases.iter().copied())
+            .chain(last)
     }
 
     /// Rewrites every successor id through `f` (used when splicing CFGs).

@@ -63,9 +63,9 @@ pub mod text;
 mod verify;
 
 pub use builder::FunctionBuilder;
-pub use callgraph::{CallGraph, CallGraphEdge};
-pub use func::{Block, FnAttrs, Function};
-pub use ids::{BlockId, FuncId, SiteId};
+pub use callgraph::{recursive_marks, CallGraph, CallGraphEdge};
+pub use func::{Block, BlockRef, FnAttrs, Function};
+pub use ids::{BlockId, FuncId, SiteId, Symbol};
 pub use inst::{BranchKind, Cond, Inst, OpKind, Terminator};
 pub use module::{BranchCensus, Module};
 pub use text::{parse_module, ParseError};

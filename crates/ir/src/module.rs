@@ -1,7 +1,29 @@
 //! Modules: the unit of whole-program optimization.
+//!
+//! A [`Module`] owns its functions behind `Arc`s (copy-on-write) and keys
+//! them by dense [`FuncId`]s; names are interned [`Symbol`]s, so
+//! [`Module::find_function`] is an interner lookup plus a `u32` scan, never
+//! a string comparison per function.
+//!
+//! ```
+//! use pibe_ir::{FunctionBuilder, Module, OpKind, BlockId};
+//!
+//! let mut m = Module::new("doc");
+//! let mut b = FunctionBuilder::new("leaf", 0);
+//! b.ops(OpKind::Alu, 2);
+//! b.ret();
+//! let id = m.add_function(b.build());
+//!
+//! // Blocks are (start, len) ranges over one flat instruction pool.
+//! let f = m.function(id);
+//! assert_eq!(f.num_blocks(), 1);
+//! assert_eq!(f.block(BlockId::ENTRY).insts().len(), 2);
+//! assert_eq!(f.iter_insts().count(), 2);
+//! assert_eq!(m.find_function("leaf"), Some(id));
+//! ```
 
 use crate::func::Function;
-use crate::ids::{FuncId, SiteId};
+use crate::ids::{FuncId, SiteId, Symbol};
 use crate::inst::{Inst, Terminator};
 use crate::verify::{self, VerifyError};
 use serde::{Deserialize, Serialize};
@@ -153,11 +175,14 @@ impl Module {
         self.functions.is_empty()
     }
 
-    /// Looks a function up by name (linear scan; test/reporting use only).
+    /// Looks a function up by name. The name is resolved through the symbol
+    /// interner first, so a miss costs one hash lookup and a hit scans
+    /// `u32`s, never strings.
     pub fn find_function(&self, name: &str) -> Option<FuncId> {
+        let sym = Symbol::lookup(name)?;
         self.functions
             .iter()
-            .position(|f| f.name == name)
+            .position(|f| f.name == sym)
             .map(|i| FuncId::from_raw(i as u32))
     }
 
@@ -179,15 +204,16 @@ impl Module {
     pub fn census(&self) -> BranchCensus {
         let mut c = BranchCensus::default();
         for f in &self.functions {
-            for block in f.blocks() {
-                for inst in &block.insts {
-                    match inst {
-                        Inst::Call { .. } => c.direct_calls += 1,
-                        Inst::CallIndirect { .. } => c.indirect_calls += 1,
-                        _ => {}
-                    }
+            // Flat pool scan: tombstones are plain `Op`s and cannot match.
+            for inst in f.insts() {
+                match inst {
+                    Inst::Call { .. } => c.direct_calls += 1,
+                    Inst::CallIndirect { .. } => c.indirect_calls += 1,
+                    _ => {}
                 }
-                match &block.term {
+            }
+            for term in f.terms() {
+                match term {
                     Terminator::Return => c.returns += 1,
                     Terminator::Switch { via_table, .. } if *via_table => c.indirect_jumps += 1,
                     _ => {}

@@ -112,10 +112,10 @@ impl fmt::Display for Function {
         )?;
         for (bid, block) in self.iter_blocks() {
             writeln!(f, "{bid}:")?;
-            for inst in &block.insts {
+            for inst in block.insts() {
                 writeln!(f, "  {inst}")?;
             }
-            writeln!(f, "  {}", block.term)?;
+            writeln!(f, "  {}", block.term())?;
         }
         f.write_str("}")
     }

@@ -53,10 +53,9 @@ pub fn term_cost(term: &Terminator) -> u32 {
 /// Rule 2 (caller budget, threshold 12 000) and Rule 3 (callee impact,
 /// threshold 3 000) compare against.
 pub fn function_cost(f: &Function) -> u32 {
-    f.blocks()
-        .iter()
-        .map(|b| b.insts.iter().map(inst_cost).sum::<u32>() + term_cost(&b.term))
-        .sum()
+    // Block-ordered walk: only live instructions count (never the raw pool,
+    // which may carry tombstones of deleted calls).
+    f.iter_insts().map(inst_cost).sum::<u32>() + f.terms().map(term_cost).sum::<u32>()
 }
 
 /// Exact change in a caller's [`function_cost`] from inlining a direct
@@ -107,12 +106,21 @@ pub fn term_bytes(term: &Terminator) -> u32 {
 }
 
 /// Model machine-code bytes of a function (blocks laid out consecutively).
+///
+/// Memoized on the function: copy-on-write bodies are size-summed by every
+/// pipeline stage report, so an unchanged body answers from its cache and
+/// any `&mut` access recomputes on next call.
 pub fn function_bytes(f: &Function) -> u64 {
-    f.blocks().iter().map(|b| block_bytes_of(b) as u64).sum()
+    if let Some(b) = f.cached_bytes() {
+        return b;
+    }
+    let bytes = f.iter_blocks().map(|(_, b)| block_bytes_of(b) as u64).sum();
+    f.set_cached_bytes(bytes);
+    bytes
 }
 
-fn block_bytes_of(b: &crate::func::Block) -> u32 {
-    b.insts.iter().map(inst_bytes).sum::<u32>() + term_bytes(&b.term)
+fn block_bytes_of(b: crate::func::BlockRef<'_>) -> u32 {
+    b.insts().iter().map(inst_bytes).sum::<u32>() + term_bytes(b.term())
 }
 
 /// A linear code layout for a module: every function gets a base address and
@@ -135,9 +143,9 @@ impl Layout {
         for f in module.functions() {
             cursor = (cursor + 15) & !15;
             func_base.push(cursor);
-            let mut spans = Vec::with_capacity(f.blocks().len());
+            let mut spans = Vec::with_capacity(f.num_blocks());
             let mut off: u32 = 0;
-            for b in f.blocks() {
+            for (_, b) in f.iter_blocks() {
                 let bytes = block_bytes_of(b);
                 spans.push((off, bytes));
                 off += bytes;
@@ -255,5 +263,27 @@ mod tests {
         };
         assert!(term_bytes(&table) < term_bytes(&chain));
         assert!(term_cost(&table) < term_cost(&chain));
+    }
+
+    /// `function_bytes` is memoized per body, and every `&mut` accessor
+    /// drops the memo — growing a function must be reflected immediately.
+    #[test]
+    fn byte_cache_invalidated_by_mutation() {
+        use crate::inst::{Inst, OpKind};
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", 0);
+        b.op(OpKind::Alu);
+        b.ret();
+        let id = m.add_function(b.build());
+
+        let before = function_bytes(m.function(id));
+        assert_eq!(before, function_bytes(m.function(id)), "memo is stable");
+        m.function_mut(id)
+            .insert_inst(BlockId::ENTRY, 0, Inst::Op(OpKind::Load));
+        let after = function_bytes(m.function(id));
+        assert_eq!(
+            after,
+            before + u64::from(inst_bytes(&Inst::Op(OpKind::Load)))
+        );
     }
 }

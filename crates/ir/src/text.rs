@@ -469,7 +469,7 @@ mod tests {
         let parsed = parse_module(&m.to_string()).unwrap();
         let f = parsed.function(FuncId::from_raw(0));
         assert!(matches!(
-            f.blocks()[0].insts[0],
+            f.block_insts(crate::BlockId::ENTRY)[0],
             Inst::CallIndirect { asm: true, .. }
         ));
     }

@@ -1,6 +1,12 @@
 //! Structural verification of modules.
+//!
+//! The checker is two linear scans per function over the pooled storage:
+//! one flat sweep of the instruction pool to collect resolved sites (into a
+//! sorted vec — no per-site hashing), then one pass over the block table
+//! checking each block's instruction slice and terminator in order. Error
+//! precedence matches the historical per-block walk exactly.
 
-use crate::ids::{BlockId, FuncId};
+use crate::ids::{BlockId, FuncId, SiteId};
 use crate::inst::{Cond, Inst, Terminator};
 use crate::Module;
 use std::fmt;
@@ -106,82 +112,97 @@ pub fn verify_with_threads(module: &Module, threads: usize) -> Result<(), Verify
 }
 
 /// Checks one function's invariants against a module of `nfuncs` functions.
+///
+/// A clean result is memoized on the function (copy-on-write bodies are
+/// shared across pipeline stages and sibling builds, so re-verifying an
+/// unchanged body is the common case). The memo is keyed by `nfuncs`
+/// because callee-bounds checks depend on the module size; any mutation
+/// through a `&mut` accessor drops it. Errors are never cached.
 fn verify_function(f: &crate::func::Function, nfuncs: u32) -> Result<(), VerifyError> {
-    {
-        let fid = f.id();
-        let nblocks = f.blocks().len() as u32;
-        if nblocks == 0 {
-            return Err(VerifyError::EmptyFunction { func: fid });
-        }
-        // Collect every resolved site first: transformations (inlining) may
-        // reorder block *indices* freely as long as a ResolveTarget precedes
-        // its consumers in *control-flow* order, which the executor enforces
-        // dynamically. The static check is function-scoped.
-        let mut resolved_sites = std::collections::HashSet::new();
-        for block in f.blocks() {
-            for inst in &block.insts {
-                if let Inst::ResolveTarget { site } = inst {
-                    resolved_sites.insert(*site);
-                }
-            }
-        }
-        let mut has_return = false;
-        for (bid, block) in f.iter_blocks() {
-            for inst in &block.insts {
-                match inst {
-                    Inst::Call { callee, .. } => {
-                        if callee.index() as u32 >= nfuncs {
-                            return Err(VerifyError::DanglingCallee {
-                                func: fid,
-                                callee: *callee,
-                            });
-                        }
-                    }
-                    Inst::CallIndirect { site, resolved, .. } => {
-                        if *resolved && !resolved_sites.contains(site) {
-                            return Err(VerifyError::UnresolvedGuard { func: fid });
-                        }
-                    }
-                    Inst::ResolveTarget { .. } | Inst::Op(_) => {}
-                }
-            }
-            match &block.term {
-                Terminator::Switch { weights, cases, .. } if weights.len() != cases.len() => {
-                    return Err(VerifyError::MalformedSwitch {
-                        func: fid,
-                        block: bid,
-                    });
-                }
-                Terminator::Branch {
-                    cond: Cond::TargetIs { site, target },
-                    ..
-                } => {
-                    if !resolved_sites.contains(site) {
-                        return Err(VerifyError::UnresolvedGuard { func: fid });
-                    }
-                    if target.index() as u32 >= nfuncs {
+    if f.is_verified_for(nfuncs as usize) {
+        return Ok(());
+    }
+    verify_function_uncached(f, nfuncs).inspect(|()| f.mark_verified_for(nfuncs as usize))
+}
+
+fn verify_function_uncached(f: &crate::func::Function, nfuncs: u32) -> Result<(), VerifyError> {
+    let fid = f.id();
+    let nblocks = f.num_blocks() as u32;
+    if nblocks == 0 {
+        return Err(VerifyError::EmptyFunction { func: fid });
+    }
+    // Collect every resolved site first: transformations (inlining) may
+    // reorder block *indices* freely as long as a ResolveTarget precedes
+    // its consumers in *control-flow* order, which the executor enforces
+    // dynamically. The static check is function-scoped, so this is one flat
+    // sweep of the instruction pool (tombstones are plain `Op`s and cannot
+    // match) into a sorted vec — membership below is a binary search.
+    let mut resolved_sites: Vec<SiteId> = f
+        .insts()
+        .iter()
+        .filter_map(|inst| match inst {
+            Inst::ResolveTarget { site } => Some(*site),
+            _ => None,
+        })
+        .collect();
+    resolved_sites.sort_unstable();
+    let is_resolved = |site: &SiteId| resolved_sites.binary_search(site).is_ok();
+    let mut has_return = false;
+    for (bid, block) in f.iter_blocks() {
+        for inst in block.insts() {
+            match inst {
+                Inst::Call { callee, .. } => {
+                    if callee.index() as u32 >= nfuncs {
                         return Err(VerifyError::DanglingCallee {
                             func: fid,
-                            callee: *target,
+                            callee: *callee,
                         });
                     }
                 }
-                Terminator::Return => has_return = true,
-                _ => {}
+                Inst::CallIndirect { site, resolved, .. } => {
+                    if *resolved && !is_resolved(site) {
+                        return Err(VerifyError::UnresolvedGuard { func: fid });
+                    }
+                }
+                Inst::ResolveTarget { .. } | Inst::Op(_) => {}
             }
-            for succ in block.term.successors() {
-                if succ.index() as u32 >= nblocks {
-                    return Err(VerifyError::DanglingBlock {
+        }
+        match block.term() {
+            Terminator::Switch { weights, cases, .. } if weights.len() != cases.len() => {
+                return Err(VerifyError::MalformedSwitch {
+                    func: fid,
+                    block: bid,
+                });
+            }
+            Terminator::Branch {
+                cond: Cond::TargetIs { site, target },
+                ..
+            } => {
+                if !is_resolved(site) {
+                    return Err(VerifyError::UnresolvedGuard { func: fid });
+                }
+                if target.index() as u32 >= nfuncs {
+                    return Err(VerifyError::DanglingCallee {
                         func: fid,
-                        block: bid,
-                        target: succ,
+                        callee: *target,
                     });
                 }
             }
+            Terminator::Return => has_return = true,
+            _ => {}
         }
-        if !has_return {
-            return Err(VerifyError::NoReturnPath { func: fid });
+        for succ in block.term().successors() {
+            if succ.index() as u32 >= nblocks {
+                return Err(VerifyError::DanglingBlock {
+                    func: fid,
+                    block: bid,
+                    target: succ,
+                });
+            }
         }
+    }
+    if !has_return {
+        return Err(VerifyError::NoReturnPath { func: fid });
     }
     Ok(())
 }
@@ -278,7 +299,7 @@ mod tests {
     fn dangling_block_rejected() {
         let mut m = ok_module();
         let f = m.find_function("f").unwrap();
-        m.function_mut(f).blocks_mut()[0].term = Terminator::Jump {
+        *m.function_mut(f).term_mut(BlockId::ENTRY) = Terminator::Jump {
             target: BlockId::from_raw(7),
         };
         assert!(matches!(m.verify(), Err(VerifyError::DanglingBlock { .. })));
@@ -288,7 +309,7 @@ mod tests {
     fn missing_return_rejected() {
         let mut m = ok_module();
         let f = m.find_function("f").unwrap();
-        m.function_mut(f).blocks_mut()[0].term = Terminator::Jump {
+        *m.function_mut(f).term_mut(BlockId::ENTRY) = Terminator::Jump {
             target: BlockId::from_raw(0),
         };
         assert!(matches!(m.verify(), Err(VerifyError::NoReturnPath { .. })));
@@ -298,7 +319,7 @@ mod tests {
     fn unresolved_guard_rejected() {
         let mut m = ok_module();
         let f = m.find_function("f").unwrap();
-        m.function_mut(f).blocks_mut()[0] = Block::new(
+        m.function_mut(f).set_blocks(vec![Block::new(
             vec![Inst::CallIndirect {
                 site: SiteId::from_raw(3),
                 args: 0,
@@ -306,7 +327,7 @@ mod tests {
                 asm: false,
             }],
             Terminator::Return,
-        );
+        )]);
         assert!(matches!(
             m.verify(),
             Err(VerifyError::UnresolvedGuard { .. })
@@ -317,7 +338,7 @@ mod tests {
     fn malformed_switch_rejected() {
         let mut m = ok_module();
         let f = m.find_function("f").unwrap();
-        m.function_mut(f).blocks_mut()[0].term = Terminator::Switch {
+        *m.function_mut(f).term_mut(BlockId::ENTRY) = Terminator::Switch {
             weights: vec![1, 2, 3],
             cases: vec![BlockId::from_raw(0)],
             default_weight: 1,
@@ -336,5 +357,53 @@ mod tests {
             func: FuncId::from_raw(2),
         };
         assert!(e.to_string().contains("@f2"));
+    }
+
+    /// A clean verify is memoized, but any `&mut` accessor drops the memo:
+    /// corruption introduced *after* a successful verify must still be
+    /// caught on the re-check.
+    #[test]
+    fn verify_cache_invalidated_by_mutation() {
+        let mut m = ok_module();
+        assert!(m.verify().is_ok());
+        let f = m.find_function("f").unwrap();
+        *m.function_mut(f).term_mut(BlockId::ENTRY) = Terminator::Jump {
+            target: BlockId::from_raw(7),
+        };
+        assert!(matches!(m.verify(), Err(VerifyError::DanglingBlock { .. })));
+    }
+
+    /// The memo is keyed by module size: a body verified against one
+    /// function count must re-verify when the count changes, because
+    /// callee bounds depend on it. Shrinking the module below a callee's
+    /// id must flip a previously clean verify to `DanglingCallee`.
+    #[test]
+    fn verify_cache_keyed_by_module_size() {
+        let mut big = Module::new("big");
+        for name in ["pad", "callee"] {
+            let mut b = FunctionBuilder::new(name, 0);
+            b.op(OpKind::Alu);
+            b.ret();
+            big.add_function(b.build());
+        }
+        let s = big.fresh_site();
+        let mut b = FunctionBuilder::new("caller", 0);
+        b.call(s, FuncId::from_raw(1), 0);
+        b.ret();
+        let caller = big.add_function(b.build());
+        assert!(big.verify().is_ok());
+
+        // Move the caller's verified-clean body into a one-function module:
+        // its callee id 1 is now out of range, and the memo from the
+        // three-function verify must not leak across the size change.
+        let mut small = Module::new("small");
+        small.add_function_arc(big.function_arc(caller).clone());
+        assert!(matches!(
+            small.verify(),
+            Err(VerifyError::DanglingCallee { .. })
+        ));
+
+        // The shared body stays clean in the original module.
+        assert!(big.verify().is_ok());
     }
 }

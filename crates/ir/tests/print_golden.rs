@@ -1,0 +1,76 @@
+//! Printed-IR byte identity against the committed difftest corpus.
+//!
+//! Every `.pibecase` fixture embeds its module as the exact output of the
+//! IR printer at the time the fixture was committed. Parsing that text and
+//! re-printing it must reproduce the committed bytes: the printer is the
+//! golden format that fixtures, golden tests, and the 1/2/4/7-thread
+//! bit-identity suite all compare through, so any formatting drift (or a
+//! parse that loses information) shows up here first, pinned to real
+//! minimized cases rather than synthetic ones.
+
+use pibe_ir::parse_module;
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// The `module:` section of a fixture, byte-exact (everything after the
+/// header line; see `pibe_difftest::fixture::to_text`).
+fn module_section(text: &str, path: &std::path::Path) -> String {
+    let marker = "module:\n";
+    let at = text
+        .find(marker)
+        .unwrap_or_else(|| panic!("{} has no module section", path.display()));
+    text[at + marker.len()..].to_string()
+}
+
+#[test]
+fn corpus_modules_reprint_byte_identical() {
+    let dir = corpus_dir();
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing corpus dir {}: {e}", dir.display()))
+        .map(|e| e.expect("readable corpus dir").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pibecase"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 3,
+        "corpus unexpectedly small: {} fixtures",
+        entries.len()
+    );
+    for path in entries {
+        let text = fs::read_to_string(&path).expect("readable fixture");
+        let committed = module_section(&text, &path);
+        let module = parse_module(&committed)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let reprinted = module.to_string();
+        assert_eq!(
+            reprinted,
+            committed,
+            "{} re-prints differently from its committed bytes",
+            path.display()
+        );
+    }
+}
+
+/// Printing is a pure function of the IR: a second render, and a render of
+/// a parse-of-a-render, both reproduce the same bytes. This is the
+/// fixed-point property the byte-identity comparisons in the threaded
+/// build tests rely on.
+#[test]
+fn reprint_is_a_fixed_point() {
+    let dir = corpus_dir();
+    for entry in fs::read_dir(&dir).expect("corpus dir") {
+        let path = entry.expect("readable corpus dir").path();
+        if path.extension().is_none_or(|x| x != "pibecase") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("readable fixture");
+        let committed = module_section(&text, &path);
+        let once = parse_module(&committed).expect("parses").to_string();
+        let twice = parse_module(&once).expect("re-parses").to_string();
+        assert_eq!(once, twice, "{} is not a print fixed point", path.display());
+    }
+}

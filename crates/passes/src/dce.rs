@@ -14,7 +14,6 @@
 
 use pibe_ir::{Cond, FuncId, Inst, Module, Terminator};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Old-id → new-id translation for a stripped module.
 #[derive(Debug, Clone)]
@@ -60,16 +59,18 @@ pub fn strip_unreachable(
 /// the mark phase follows.
 fn out_edges(f: &pibe_ir::Function) -> Vec<FuncId> {
     let mut out = Vec::new();
-    for block in f.blocks() {
-        for inst in &block.insts {
-            if let Inst::Call { callee, .. } = inst {
-                out.push(*callee);
-            }
+    // Flat pool scan: tombstones are plain ops and never carry a FuncId,
+    // so the raw pool holds exactly the live calls.
+    for inst in f.insts() {
+        if let Inst::Call { callee, .. } = inst {
+            out.push(*callee);
         }
+    }
+    for term in f.terms() {
         if let Terminator::Branch {
             cond: Cond::TargetIs { target, .. },
             ..
-        } = &block.term
+        } = term
         {
             out.push(*target);
         }
@@ -97,16 +98,18 @@ pub fn strip_unreachable_threaded(
     let edges: Option<Vec<Vec<FuncId>>> = (threads > 1).then(|| {
         pibe_ir::par::map_indexed(module.len(), threads, |i| out_edges(&module.functions()[i]))
     });
-    let mut live: HashSet<FuncId> = HashSet::new();
+    // Function ids are dense, so liveness is a flat bit vector — no
+    // per-function hashing anywhere in the mark phase.
+    let mut live = vec![false; module.len()];
     let mut work: Vec<FuncId> = Vec::new();
     for &f in roots.iter().chain(address_taken) {
-        if live.insert(f) {
+        if !std::mem::replace(&mut live[f.index()], true) {
             work.push(f);
         }
     }
     while let Some(f) = work.pop() {
         let mut follow = |succ: FuncId, work: &mut Vec<FuncId>| {
-            if live.insert(succ) {
+            if !std::mem::replace(&mut live[succ.index()], true) {
                 work.push(succ);
             }
         };
@@ -116,19 +119,8 @@ pub fn strip_unreachable_threaded(
             }
             continue;
         }
-        for block in module.function(f).blocks() {
-            for inst in &block.insts {
-                if let Inst::Call { callee, .. } = inst {
-                    follow(*callee, &mut work);
-                }
-            }
-            if let Terminator::Branch {
-                cond: Cond::TargetIs { target, .. },
-                ..
-            } = &block.term
-            {
-                follow(*target, &mut work);
-            }
+        for succ in out_edges(module.function(f)) {
+            follow(succ, &mut work);
         }
     }
 
@@ -136,7 +128,7 @@ pub fn strip_unreachable_threaded(
     let mut stripped = Module::new(module.name().to_string());
     let mut forward: Vec<Option<FuncId>> = vec![None; module.len()];
     for f in module.functions() {
-        if live.contains(&f.id()) {
+        if live[f.id().index()] {
             // Arc clone: survivors stay shared with the input module until
             // the remap below actually has to rewrite one of them.
             forward[f.id().index()] = Some(stripped.add_function_arc(f.clone()));
@@ -147,40 +139,56 @@ pub fn strip_unreachable_threaded(
     let translate =
         |old: FuncId| forward[old.index()].expect("live function calls only live functions");
     for id in stripped.func_ids().collect::<Vec<_>>() {
-        let needs_remap = stripped.function(id).blocks().iter().any(|block| {
-            block.insts.iter().any(
+        // Flat pool scans: dropped calls are tombstoned to plain ops, so
+        // every Call in the raw pool is live and safe to translate.
+        let func = stripped.function(id);
+        let needs_remap =
+            func.insts().iter().any(
                 |inst| matches!(inst, Inst::Call { callee, .. } if translate(*callee) != *callee),
-            ) || matches!(
-                &block.term,
-                Terminator::Branch {
-                    cond: Cond::TargetIs { target, .. },
-                    ..
-                } if translate(*target) != *target
-            )
-        });
+            ) || func.terms().any(|term| {
+                matches!(
+                    term,
+                    Terminator::Branch {
+                        cond: Cond::TargetIs { target, .. },
+                        ..
+                    } if translate(*target) != *target
+                )
+            });
         if !needs_remap {
             continue;
         }
-        for block in stripped.function_mut(id).blocks_mut() {
-            for inst in &mut block.insts {
-                if let Inst::Call { callee, .. } = inst {
-                    *callee = translate(*callee);
-                }
+        let func = stripped.function_mut(id);
+        for inst in func.insts_mut() {
+            if let Inst::Call { callee, .. } = inst {
+                *callee = translate(*callee);
             }
+        }
+        for term in func.terms_mut() {
             if let Terminator::Branch {
                 cond: Cond::TargetIs { target, .. },
                 ..
-            } = &mut block.term
+            } = term
             {
                 *target = translate(*target);
             }
         }
     }
 
+    // Sum bytes over the removed functions only — identical to the
+    // pre/post `code_bytes` difference (remapping callee ids never changes
+    // an instruction's size), but it skips every survivor and the removed
+    // cold mass is unmutated, so its per-function byte counts stay
+    // memoized across repeated builds of the same input.
+    let removed_bytes = module
+        .functions()
+        .iter()
+        .filter(|f| forward[f.id().index()].is_none())
+        .map(|f| pibe_ir::size::function_bytes(f))
+        .sum();
     let stats = DceStats {
         kept_functions: stripped.len() as u64,
         removed_functions: (module.len() - stripped.len()) as u64,
-        removed_bytes: module.code_bytes() - stripped.code_bytes(),
+        removed_bytes,
     };
     pibe_trace::event_args("dce.strip", || {
         vec![
@@ -263,13 +271,9 @@ mod tests {
         // Give root an ICP-style guard naming dead1.
         let s = m.fresh_site();
         let f = m.function_mut(root);
-        f.blocks_mut()[0]
-            .insts
-            .insert(0, pibe_ir::Inst::ResolveTarget { site: s });
-        let ret_block = pibe_ir::Block::new(Vec::new(), Terminator::Return);
-        f.blocks_mut().push(ret_block);
-        let last = BlockId::from_raw(f.blocks().len() as u32 - 1);
-        f.blocks_mut()[0].term = Terminator::Branch {
+        f.insert_inst(BlockId::ENTRY, 0, pibe_ir::Inst::ResolveTarget { site: s });
+        let last = f.append_block(Vec::new(), Terminator::Return);
+        *f.term_mut(BlockId::ENTRY) = Terminator::Branch {
             cond: Cond::TargetIs {
                 site: s,
                 target: dead1,

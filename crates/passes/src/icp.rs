@@ -33,10 +33,10 @@
 //! [`SiteWeights`] table so the inliner can elide it next.
 
 use crate::weights::SiteWeights;
-use pibe_ir::{Block, BlockId, Cond, FuncId, Inst, Module, SiteId, Terminator};
+use pibe_ir::{BlockId, Cond, FuncId, Inst, Module, SiteId, Terminator};
 use pibe_profile::{select_by_budget, Budget, Profile};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// ICP tuning knobs.
 ///
@@ -127,13 +127,20 @@ pub fn promote_indirect_calls(
         }
     }
 
-    // Index: which function owns each indirect site (pre-ICP they are
-    // static-unique).
-    let mut owner: HashMap<SiteId, FuncId> = HashMap::new();
+    // Index: which function owns each *selected* indirect site (pre-ICP
+    // they are static-unique). Only promotion candidates need an owner, so
+    // the scan filters before hashing instead of indexing every indirect
+    // site in the module.
+    let needed: HashSet<SiteId> = site_order.iter().copied().collect();
+    let mut owner: HashMap<SiteId, FuncId> = HashMap::with_capacity(needed.len());
     for f in module.functions() {
-        for block in f.blocks() {
-            for inst in &block.insts {
-                if let Inst::CallIndirect { site, .. } = inst {
+        if owner.len() == needed.len() {
+            break;
+        }
+        // Flat pool scan: tombstones are plain ops and cannot match.
+        for inst in f.insts() {
+            if let Inst::CallIndirect { site, .. } = inst {
+                if needed.contains(site) {
                     owner.insert(*site, f.id());
                 }
             }
@@ -192,7 +199,7 @@ fn promote_site(
     // Locate the unresolved indirect call.
     let mut found: Option<(BlockId, usize, u8)> = None;
     'outer: for (bid, block) in module.function(func).iter_blocks() {
-        for (idx, inst) in block.insts.iter().enumerate() {
+        for (idx, inst) in block.insts().iter().enumerate() {
             if let Inst::CallIndirect {
                 site: s,
                 args,
@@ -221,14 +228,13 @@ fn promote_site(
         .collect();
 
     let f = module.function_mut(func);
-    let nblocks = f.blocks().len() as u32;
+    let nblocks = f.num_blocks() as u32;
     let n = promos.len() as u32;
     // Block id plan (appended after the existing blocks):
     //   merge                      = nblocks
     //   guard_i (i in 1..n)        = nblocks + i        (guard_0 reuses bid)
     //   direct_i (i in 0..n)       = nblocks + n + i
     //   fallback                   = nblocks + 2n
-    let merge_id = BlockId::from_raw(nblocks);
     let guard_id = |i: u32| {
         debug_assert!(i >= 1);
         BlockId::from_raw(nblocks + i)
@@ -236,13 +242,13 @@ fn promote_site(
     let direct_id = |i: u32| BlockId::from_raw(nblocks + n + i);
     let fallback_id = BlockId::from_raw(nblocks + 2 * n);
 
-    let blocks = f.blocks_mut();
-    let calling = &mut blocks[bid.index()];
-    let tail: Vec<Inst> = calling.insts.split_off(idx + 1);
-    calling.insts.pop(); // remove the indirect call
-    calling.insts.push(Inst::ResolveTarget { site });
-    let merge_term = std::mem::replace(
-        &mut calling.term,
+    // Rewrite the indirect call into the resolve in place, then split the
+    // calling block after it — pure pool-range arithmetic, no inst copies.
+    f.block_insts_mut(bid)[idx] = Inst::ResolveTarget { site };
+    let merge_id = f.split_block(
+        bid,
+        idx + 1,
+        false,
         Terminator::Branch {
             cond: Cond::TargetIs {
                 site,
@@ -252,12 +258,10 @@ fn promote_site(
             else_bb: if n > 1 { guard_id(1) } else { fallback_id },
         },
     );
-
-    // merge block.
-    blocks.push(Block::new(tail, merge_term));
+    debug_assert_eq!(merge_id, BlockId::from_raw(nblocks));
     // guard blocks 1..n.
     for i in 1..n {
-        blocks.push(Block::new(
+        f.append_block(
             Vec::new(),
             Terminator::Branch {
                 cond: Cond::TargetIs {
@@ -271,21 +275,21 @@ fn promote_site(
                     fallback_id
                 },
             },
-        ));
+        );
     }
     // direct blocks.
     for (new_site, target, _) in &promos {
-        blocks.push(Block::new(
+        f.append_block(
             vec![Inst::Call {
                 site: *new_site,
                 callee: *target,
                 args,
             }],
             Terminator::Jump { target: merge_id },
-        ));
+        );
     }
     // fallback block.
-    blocks.push(Block::new(
+    f.append_block(
         vec![Inst::CallIndirect {
             site,
             args,
@@ -293,7 +297,7 @@ fn promote_site(
             asm: false,
         }],
         Terminator::Jump { target: merge_id },
-    ));
+    );
 
     let mut weight = 0;
     for (new_site, _, w) in &promos {
@@ -455,6 +459,6 @@ mod tests {
         m.verify().unwrap();
         // Blocks: entry, original-return-block isn't split... layout:
         // entry(resolve+guard), merge, direct, fallback = 4.
-        assert_eq!(m.function(root).blocks().len(), 4);
+        assert_eq!(m.function(root).num_blocks(), 4);
     }
 }

@@ -27,7 +27,7 @@
 
 use crate::transform::{inline_call_site, InlineError};
 use crate::weights::SiteWeights;
-use pibe_ir::{size, CallGraph, FuncId, Inst, Module, SiteId};
+use pibe_ir::{size, FuncId, Inst, Module, SiteId};
 use pibe_profile::{Budget, BudgetRanking, Profile};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
@@ -117,41 +117,51 @@ pub fn run_inliner(
     config: &InlinerConfig,
 ) -> InlinerStats {
     let _pass_span = pibe_trace::span("pass.inline");
-    let mut graph = CallGraph::build(module);
     let mut stats = InlinerStats::default();
 
     // Incremental analyses: per-function complexity is memoised on first
     // use and updated by the exact splice delta on each successful inline
-    // (see `size::inline_cost_delta`), and the call graph is patched edge
-    // by edge — neither is ever recomputed from bodies mid-pass. Inlining
-    // never adds or removes functions, so the dense cache stays aligned.
+    // (see `size::inline_cost_delta`) — never recomputed from bodies
+    // mid-pass. Inlining never adds or removes functions, so the dense
+    // cache stays aligned.
     let mut cost_cache: Vec<Option<u32>> = vec![None; module.len()];
 
-    // Rule 1: collect and rank every direct call site.
+    // Rule 1: collect and rank every direct call site. The same scan
+    // accumulates the flat CSR adjacency for the recursion analysis —
+    // the only call-graph question the inliner asks, and one inlining
+    // cannot change (every inline merely shortcuts an existing path), so
+    // the marks need no maintenance while the module is transformed.
     let mut initial: Vec<(Candidate, u64)> = Vec::new();
+    let mut csr_offsets: Vec<u32> = Vec::with_capacity(module.len() + 1);
+    let mut csr_callees: Vec<FuncId> = Vec::new();
+    csr_offsets.push(0);
     for f in module.functions() {
-        for block in f.blocks() {
-            for inst in &block.insts {
-                if let Inst::Call { site, callee, .. } = inst {
-                    let w = weights.get(*site);
-                    stats.total_weight += w;
-                    stats.total_sites += 1;
-                    if w > 0 {
-                        stats.profiled_sites += 1;
-                    }
-                    initial.push((
-                        Candidate {
-                            weight: w,
-                            site: *site,
-                            caller: f.id(),
-                            callee: *callee,
-                        },
-                        w,
-                    ));
+        // Flat pool scan: tombstones are plain ops and cannot match.
+        for inst in f.insts() {
+            if let Inst::Call { site, callee, .. } = inst {
+                csr_callees.push(*callee);
+                let w = weights.get(*site);
+                stats.total_weight += w;
+                stats.total_sites += 1;
+                if w > 0 {
+                    stats.profiled_sites += 1;
                 }
+                initial.push((
+                    Candidate {
+                        weight: w,
+                        site: *site,
+                        caller: f.id(),
+                        callee: *callee,
+                    },
+                    w,
+                ));
             }
         }
+        csr_offsets.push(csr_callees.len() as u32);
     }
+    let recursive = pibe_ir::recursive_marks(&csr_offsets, &csr_callees);
+    drop(csr_offsets);
+    drop(csr_callees);
 
     // One ranking pass answers both budgets: the selection prefix and, in
     // lax mode, the lax-exemption floor share the same sorted population.
@@ -178,7 +188,7 @@ pub fn run_inliner(
         // "Other" inhibitors: recursion, attributes (Table 9).
         let callee_attrs = callee_fn.attrs();
         if cand.caller == cand.callee
-            || graph.is_recursive(cand.callee)
+            || recursive[cand.callee.index()]
             || callee_attrs.noinline
             || callee_attrs.optnone
             || callee_attrs.inline_asm
@@ -212,20 +222,13 @@ pub fn run_inliner(
         match inline_call_site(module, cand.caller, cand.site) {
             Ok(info) => {
                 // Only the caller's body changed; patch its cached cost by
-                // the exact splice delta and the graph by the elided /
-                // copied edges.
+                // the exact splice delta.
                 if let Some(c) = cost_cache[cand.caller.index()] {
                     let updated =
                         i64::from(c) + size::inline_cost_delta(callee_cost, info.call_args);
                     debug_assert!(updated >= 0, "a function's cost cannot go negative");
                     cost_cache[cand.caller.index()] = Some(updated as u32);
                 }
-                graph.record_inline(
-                    cand.caller,
-                    cand.callee,
-                    cand.site,
-                    &info.copied_direct_sites,
-                );
                 stats.inlined_sites += 1;
                 stats.inlined_weight += cand.weight;
                 pibe_trace::event_args("inline.accept", || {

@@ -41,13 +41,13 @@ pub fn find_v1_gadgets(module: &Module) -> Vec<V1Gadget> {
                 cond: Cond::Random { .. },
                 then_bb,
                 ..
-            } = &block.term
+            } = block.term()
             else {
                 continue;
             };
             let guarded = f.block(*then_bb);
             let loads = guarded
-                .insts
+                .insts()
                 .iter()
                 .take(WINDOW)
                 .filter(|i| matches!(i, Inst::Op(OpKind::Load)))
@@ -84,9 +84,7 @@ pub fn fence_gadgets(module: &mut Module, gadgets: &[V1Gadget]) -> FenceStats {
             continue;
         }
         let f = module.function_mut(g.func);
-        f.blocks_mut()[g.vulnerable_block.index()]
-            .insts
-            .insert(0, Inst::Op(OpKind::Fence));
+        f.insert_inst(g.vulnerable_block, 0, Inst::Op(OpKind::Fence));
         stats.fences += 1;
     }
     stats
@@ -98,12 +96,12 @@ pub fn fence_all_conditionals(module: &mut Module) -> FenceStats {
     let mut stats = FenceStats::default();
     let mut targets: Vec<(FuncId, BlockId)> = Vec::new();
     for f in module.functions() {
-        for block in f.blocks() {
+        for term in f.terms() {
             if let Terminator::Branch {
                 cond: Cond::Random { .. },
                 then_bb,
                 ..
-            } = &block.term
+            } = term
             {
                 stats.branches_seen += 1;
                 targets.push((f.id(), *then_bb));
@@ -115,9 +113,9 @@ pub fn fence_all_conditionals(module: &mut Module) -> FenceStats {
         if !seen.insert((func, bb)) {
             continue;
         }
-        module.function_mut(func).blocks_mut()[bb.index()]
-            .insts
-            .insert(0, Inst::Op(OpKind::Fence));
+        module
+            .function_mut(func)
+            .insert_inst(bb, 0, Inst::Op(OpKind::Fence));
         stats.fences += 1;
     }
     stats
@@ -176,8 +174,8 @@ mod tests {
         let stats = fence_gadgets(&mut m, &doubled);
         assert_eq!(stats.fences, 1);
         m.verify().unwrap();
-        let vuln = &m.function(gadget).blocks()[1];
-        assert!(matches!(vuln.insts[0], Inst::Op(OpKind::Fence)));
+        let vuln = m.function(gadget).block(BlockId::from_raw(1));
+        assert!(matches!(vuln.insts()[0], Inst::Op(OpKind::Fence)));
         // The fenced block no longer matches the gadget pattern head-on
         // (the fence sits before the loads), but re-fencing stays idempotent
         // through the dedup above either way.

@@ -1,6 +1,6 @@
 //! The mechanical inline transform: CFG splicing.
 
-use pibe_ir::{Block, BlockId, FuncId, Inst, Module, SiteId, Terminator};
+use pibe_ir::{BlockId, FuncId, Inst, Module, SiteId, Terminator};
 use std::fmt;
 
 /// What [`inline_call_site`] did: the identity of the elided call plus every
@@ -72,68 +72,41 @@ pub fn inline_call_site(
     caller: FuncId,
     site: SiteId,
 ) -> Result<InlinedCall, InlineError> {
-    // Locate the call.
-    let mut found: Option<(BlockId, usize, FuncId, u8)> = None;
-    'outer: for (bid, block) in module.function(caller).iter_blocks() {
-        for (idx, inst) in block.insts.iter().enumerate() {
-            if let Inst::Call {
-                site: s,
-                callee,
-                args,
-            } = inst
-            {
-                if *s == site {
-                    found = Some((bid, idx, *callee, *args));
-                    break 'outer;
-                }
-            }
-        }
-    }
-    let (bid, idx, callee, call_args) = found.ok_or(InlineError::SiteNotFound { caller, site })?;
+    // Locate the call (first in block order; see `Function::find_call`).
+    let (bid, idx, callee, call_args) = module
+        .function(caller)
+        .find_call(site)
+        .ok_or(InlineError::SiteNotFound { caller, site })?;
     if callee == caller {
         return Err(InlineError::SelfInline { func: caller });
     }
 
-    // Snapshot the callee body and record the sites we are about to copy.
-    let callee_fn = module.function(callee).clone();
+    // Snapshot the callee via its sharing handle (no body copy) and record
+    // the sites we are about to copy, in block order.
+    let callee_fn = module.function_arc(callee).clone();
     let mut copied_direct = Vec::new();
     let mut copied_indirect = Vec::new();
-    for block in callee_fn.blocks() {
-        for inst in &block.insts {
-            match inst {
-                Inst::Call {
-                    site: s, callee: c, ..
-                } => copied_direct.push((*s, *c)),
-                Inst::CallIndirect { site: s, .. } => copied_indirect.push(*s),
-                _ => {}
-            }
+    for inst in callee_fn.iter_insts() {
+        match inst {
+            Inst::Call {
+                site: s, callee: c, ..
+            } => copied_direct.push((*s, *c)),
+            Inst::CallIndirect { site: s, .. } => copied_indirect.push(*s),
+            _ => {}
         }
     }
 
     let caller_fn = module.function_mut(caller);
-    let nblocks = caller_fn.blocks().len() as u32;
-    let cont_id = BlockId::from_raw(nblocks);
+    let nblocks = caller_fn.num_blocks() as u32;
     let entry_id = BlockId::from_raw(nblocks + 1);
 
-    // Split the calling block at the call instruction.
-    let blocks = caller_fn.blocks_mut();
-    let calling = &mut blocks[bid.index()];
-    let tail: Vec<Inst> = calling.insts.split_off(idx + 1);
-    calling.insts.pop(); // drop the call itself
-    let cont_term = std::mem::replace(&mut calling.term, Terminator::Jump { target: entry_id });
-    blocks.push(Block::new(tail, cont_term)); // continuation = cont_id
-
-    // Splice in the callee blocks: offset ids, redirect returns.
-    for cblock in callee_fn.blocks() {
-        let mut b = cblock.clone();
-        if b.term.is_return() {
-            b.term = Terminator::Jump { target: cont_id };
-        } else {
-            b.term
-                .map_successors(|s| BlockId::from_raw(s.index() as u32 + nblocks + 1));
-        }
-        blocks.push(b);
-    }
+    // Split the calling block at the call instruction (the call slot is
+    // tombstoned, everything after it becomes the continuation), then
+    // splice the callee body in one pool append with returns redirected.
+    let cont_id = caller_fn.split_block(bid, idx, true, Terminator::Jump { target: entry_id });
+    debug_assert_eq!(cont_id, BlockId::from_raw(nblocks));
+    let spliced_entry = caller_fn.splice_body(&callee_fn, cont_id);
+    debug_assert_eq!(spliced_entry, entry_id);
 
     // Merged frames keep both allocations (no stack re-colouring).
     let merged = caller_fn
@@ -187,7 +160,7 @@ mod tests {
         let f = m.function(caller);
         assert!(f.iter_insts().all(|i| i.call_site() != Some(site)));
         // Blocks: original, continuation, one callee block.
-        assert_eq!(f.blocks().len(), 3);
+        assert_eq!(f.num_blocks(), 3);
         // All callee ops are now in the caller.
         assert_eq!(f.inst_count(), 2 + 2);
     }

@@ -69,23 +69,22 @@ impl ModuleIndex {
         let mut direct_by_owner = vec![Vec::new(); nfuncs];
         for f in module.functions() {
             let optnone = f.attrs().optnone;
-            for block in f.blocks() {
-                for inst in &block.insts {
-                    match inst {
-                        Inst::Call { site, callee, .. } => {
-                            direct.insert(*site, (f.id(), *callee));
-                            direct_by_owner[f.id().index()].push((*site, *callee));
-                        }
-                        Inst::CallIndirect {
-                            site,
-                            resolved: false,
-                            asm,
-                            ..
-                        } => {
-                            indirect.insert(*site, (f.id(), *asm, optnone));
-                        }
-                        _ => {}
+            // Flat pool scan: tombstones are plain ops and cannot match.
+            for inst in f.insts() {
+                match inst {
+                    Inst::Call { site, callee, .. } => {
+                        direct.insert(*site, (f.id(), *callee));
+                        direct_by_owner[f.id().index()].push((*site, *callee));
                     }
+                    Inst::CallIndirect {
+                        site,
+                        resolved: false,
+                        asm,
+                        ..
+                    } => {
+                        indirect.insert(*site, (f.id(), *asm, optnone));
+                    }
+                    _ => {}
                 }
             }
         }

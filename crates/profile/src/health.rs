@@ -243,17 +243,16 @@ impl SiteUniverse {
         let mut direct = HashSet::new();
         let mut indirect = HashSet::new();
         for f in module.functions() {
-            for block in f.blocks() {
-                for inst in &block.insts {
-                    match inst {
-                        Inst::Call { site, .. } => {
-                            direct.insert(*site);
-                        }
-                        Inst::CallIndirect { site, .. } => {
-                            indirect.insert(*site);
-                        }
-                        _ => {}
+            // Flat pool scan: tombstones are plain ops and cannot match.
+            for inst in f.insts() {
+                match inst {
+                    Inst::Call { site, .. } => {
+                        direct.insert(*site);
                     }
+                    Inst::CallIndirect { site, .. } => {
+                        indirect.insert(*site);
+                    }
+                    _ => {}
                 }
             }
         }

@@ -514,12 +514,12 @@ impl<'m, R: TargetResolver> Simulator<'m, R> {
         let frame = self.frames.last().expect("step with empty stack");
         let func = self.module.function(frame.func);
         let block = func.block(frame.block);
-        if frame.idx < block.insts.len() {
-            let inst = block.insts[frame.idx].clone();
+        if frame.idx < block.insts().len() {
+            let inst = block.insts()[frame.idx].clone();
             self.frames.last_mut().expect("frame").idx += 1;
             self.exec_inst(inst)
         } else {
-            let term = block.term.clone();
+            let term = block.term().clone();
             self.exec_term(term)
         }
     }

@@ -33,7 +33,10 @@
 //! The record's `stages_ns` aggregate covers the x86 configurations only,
 //! so baselines committed before the multi-arch backends remain
 //! comparable; the ARM and RISC-V builds of the paper-optimal
-//! configuration are timed separately under `arch_stages_ns`.
+//! configuration are timed separately under `arch_stages_ns`. A set of IR
+//! core micro-benchmarks (pool scan, interning, cold/warm verify, size
+//! accounting, printing — see [`ir_core_bench`]) lands under `ir_core_ns`
+//! and is gated by the same `--baseline`/`--tolerance` comparison.
 //!
 //! The second subcommand, `serve-bench`, times the continuous-PGO epoch
 //! loop instead of individual builds — see [`serve_bench`] for its flags
@@ -178,6 +181,97 @@ fn arch_bench_configs() -> Vec<(&'static str, PibeConfig)> {
         .collect()
 }
 
+/// Micro-benchmarks of the arena IR's core primitives, run once against the
+/// generated kernel module. They complement the pipeline stage sums: stage
+/// times move with pass heuristics and config choices, these move only when
+/// the IR core itself (pool scans, symbol interning, verification, size
+/// accounting, printing) gets slower. Recorded under `ir_core` in the JSON
+/// record and gated by the same baseline comparison as the stages.
+fn ir_core_bench(module: &pibe_ir::Module, threads: usize) -> Vec<(&'static str, u64)> {
+    use std::hint::black_box;
+    let time = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        t.elapsed().as_nanos() as u64
+    };
+    let mut out = Vec::new();
+
+    // Arena scan throughput: one raw-pool pass over every instruction.
+    out.push((
+        "pool_scan",
+        time(&mut || {
+            let calls: u64 = module
+                .functions()
+                .iter()
+                .map(|f| {
+                    f.insts()
+                        .iter()
+                        .filter(|i| matches!(i, pibe_ir::Inst::Call { .. }))
+                        .count() as u64
+                })
+                .sum();
+            black_box(calls);
+        }),
+    ));
+
+    // Symbol re-interning: every lookup hits the intern table.
+    out.push((
+        "intern",
+        time(&mut || {
+            for f in module.functions() {
+                black_box(pibe_ir::Symbol::intern(f.name()));
+            }
+        }),
+    ));
+
+    // Verification with cold analysis caches, then the memoized re-check.
+    // The deep copy plus a mutating accessor per function resets the
+    // per-function caches so the cold number is deterministic regardless of
+    // what earlier builds marked on the shared bodies.
+    let mut cold = module.clone();
+    for id in module.func_ids().collect::<Vec<_>>() {
+        let f = cold.function_mut(id);
+        let fb = f.frame_bytes();
+        f.set_frame_bytes(fb);
+    }
+    out.push((
+        "verify_cold",
+        time(&mut || {
+            cold.verify_threaded(threads).expect("kernel verifies");
+        }),
+    ));
+    out.push((
+        "verify_warm",
+        time(&mut || {
+            cold.verify_threaded(threads).expect("kernel verifies");
+        }),
+    ));
+
+    // Size accounting: cold walk, then the per-function byte cache.
+    out.push((
+        "size_cold",
+        time(&mut || {
+            black_box(cold.code_bytes());
+        }),
+    ));
+    out.push((
+        "size_warm",
+        time(&mut || {
+            black_box(cold.code_bytes());
+        }),
+    ));
+
+    // Textual rendering of the whole module.
+    out.push((
+        "print",
+        time(&mut || {
+            black_box(module.to_string().len());
+        }),
+    ));
+
+    out
+}
+
 fn stages_json(m: &BuildMetrics) -> serde_json::Value {
     serde_json::Value::Object(
         m.stages()
@@ -269,6 +363,8 @@ fn main() {
         per_arch.push((name, arch_metrics));
     }
 
+    let ir_core = ir_core_bench(&kernel.module, threads);
+
     let ms = |ns: u64| format!("{:.1}", ns as f64 / 1e6);
     println!("\n; per-stage wall time summed over {builds} builds");
     for (stage, ns) in aggregate.stages() {
@@ -278,6 +374,10 @@ fn main() {
     println!("stage rollbacks    {}", aggregate.rollbacks);
     for (arch, m) in &per_arch {
         println!("arch {arch:>8} (ms)  {}", ms(m.total_ns));
+    }
+    println!("; IR core micro-benchmarks (one pass each)");
+    for (name, ns) in &ir_core {
+        println!("ir_core {name:>12} (ms)  {}", ms(*ns));
     }
 
     let doc = serde_json::json!({
@@ -290,6 +390,12 @@ fn main() {
         "functions": kernel.module.len(),
         "builds": builds,
         "stages_ns": stages_json(&aggregate),
+        "ir_core_ns": serde_json::Value::Object(
+            ir_core
+                .iter()
+                .map(|(name, ns)| (String::from(*name), serde_json::json!(*ns)))
+                .collect(),
+        ),
         "total_ns": aggregate.total_ns,
         "rollbacks": aggregate.rollbacks,
         "arch_stages_ns": serde_json::Value::Object(
@@ -317,7 +423,7 @@ fn main() {
     eprintln!("[wrote {}]", args.out);
 
     if let Some(path) = &args.baseline {
-        let regressions = compare_against_baseline(path, &aggregate, args.tolerance);
+        let regressions = compare_against_baseline(path, &aggregate, &ir_core, args.tolerance);
         if !regressions.is_empty() {
             for r in &regressions {
                 eprintln!("regression: {r}");
@@ -331,12 +437,18 @@ fn main() {
     }
 }
 
-/// Compares this run's aggregate per-stage times against a committed
-/// baseline record, returning one message per stage whose wall time grew by
-/// more than `tolerance` percent. Stages below [`NOISE_FLOOR_NS`] in the
-/// baseline are skipped — percent comparisons on sub-10ms stages measure
+/// Compares this run's aggregate per-stage times (and, when the baseline
+/// has them, the `ir_core` micro-benchmarks) against a committed baseline
+/// record, returning one message per entry whose wall time grew by more
+/// than `tolerance` percent. Entries below [`NOISE_FLOOR_NS`] in the
+/// baseline are skipped — percent comparisons on sub-10ms timings measure
 /// timer noise, not the pipeline.
-fn compare_against_baseline(path: &str, current: &BuildMetrics, tolerance: f64) -> Vec<String> {
+fn compare_against_baseline(
+    path: &str,
+    current: &BuildMetrics,
+    ir_core: &[(&'static str, u64)],
+    tolerance: f64,
+) -> Vec<String> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
     let doc: serde_json::Value =
@@ -344,24 +456,34 @@ fn compare_against_baseline(path: &str, current: &BuildMetrics, tolerance: f64) 
     let stages = doc
         .get("stages_ns")
         .unwrap_or_else(|| panic!("baseline {path} has no stages_ns object"));
-    let mut regressions = Vec::new();
-    for (stage, now_ns) in current.stages() {
-        let base_ns = match stages.get(stage) {
+
+    let check = |kind: &str, name: &str, base: Option<&serde_json::Value>, now_ns: u64| {
+        let base_ns = match base {
             Some(serde_json::Value::U64(ns)) => *ns,
             Some(serde_json::Value::I64(ns)) => *ns as u64,
-            _ => continue, // stage absent from an older record: nothing to compare
+            _ => return None, // entry absent from an older record: nothing to compare
         };
         if base_ns < NOISE_FLOOR_NS {
-            continue;
+            return None;
         }
         let limit = base_ns as f64 * (1.0 + tolerance / 100.0);
-        if now_ns as f64 > limit {
-            regressions.push(format!(
-                "stage {stage}: {:.1}ms vs baseline {:.1}ms (+{:.0}%, tolerance {tolerance}%)",
+        (now_ns as f64 > limit).then(|| {
+            format!(
+                "{kind} {name}: {:.1}ms vs baseline {:.1}ms (+{:.0}%, tolerance {tolerance}%)",
                 now_ns as f64 / 1e6,
                 base_ns as f64 / 1e6,
                 (now_ns as f64 / base_ns as f64 - 1.0) * 100.0,
-            ));
+            )
+        })
+    };
+
+    let mut regressions = Vec::new();
+    for (stage, now_ns) in current.stages() {
+        regressions.extend(check("stage", stage, stages.get(stage), now_ns));
+    }
+    if let Some(base_core) = doc.get("ir_core_ns") {
+        for (name, now_ns) in ir_core {
+            regressions.extend(check("ir_core", name, base_core.get(name), *now_ns));
         }
     }
     regressions

@@ -106,15 +106,13 @@ fn asm_sites_live_in_the_module_as_flagged_instructions() {
         .collect();
     let mut found = 0;
     for f in k.module.functions() {
-        for block in f.blocks() {
-            for inst in &block.insts {
-                if let Inst::CallIndirect {
-                    site, asm: true, ..
-                } = inst
-                {
-                    assert!(asm_sites.contains(site));
-                    found += 1;
-                }
+        for inst in f.insts() {
+            if let Inst::CallIndirect {
+                site, asm: true, ..
+            } = inst
+            {
+                assert!(asm_sites.contains(site));
+                found += 1;
             }
         }
     }
@@ -155,11 +153,9 @@ fn profiling_observes_only_reachable_direct_sites() {
     // Every profiled direct site must belong to a reachable function.
     let mut site_owner = std::collections::HashMap::new();
     for f in k.module.functions() {
-        for block in f.blocks() {
-            for inst in &block.insts {
-                if let Inst::Call { site, .. } = inst {
-                    site_owner.insert(*site, f.id());
-                }
+        for inst in f.insts() {
+            if let Inst::Call { site, .. } = inst {
+                site_owner.insert(*site, f.id());
             }
         }
     }

@@ -116,13 +116,11 @@ proptest! {
         // self-recursion, which inline_call_site rightly refuses).
         let mut found = None;
         'outer: for f in m.functions() {
-            for block in f.blocks() {
-                for inst in &block.insts {
-                    if let pibe_ir::Inst::Call { site, callee, .. } = inst {
-                        if *callee != f.id() {
-                            found = Some((f.id(), *site, *callee));
-                            break 'outer;
-                        }
+            for inst in f.iter_insts() {
+                if let pibe_ir::Inst::Call { site, callee, .. } = inst {
+                    if *callee != f.id() {
+                        found = Some((f.id(), *site, *callee));
+                        break 'outer;
                     }
                 }
             }
@@ -372,5 +370,103 @@ proptest! {
             .filter(|i| matches!(i, pibe_ir::Inst::CallIndirect { resolved: true, .. }))
             .count();
         prop_assert_eq!(fallbacks, 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arena IR core: interning and pool index stability
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Interning is idempotent and resolves back to the interned text: two
+    /// interns of equal strings yield the same `Symbol`, distinct strings
+    /// yield distinct symbols, and `as_str`/`lookup` round-trip exactly.
+    #[test]
+    fn symbol_intern_resolve_round_trips(raw in vec(0u16..u16::MAX, 1..24)) {
+        use pibe_ir::Symbol;
+        // Draw from a small name space so collisions (equal strings) are
+        // exercised alongside distinct ones.
+        let names: Vec<String> = raw.iter().map(|r| format!("sym_{}", r % 512)).collect();
+        let symbols: Vec<Symbol> = names.iter().map(|n| Symbol::intern(n)).collect();
+        for (name, &sym) in names.iter().zip(&symbols) {
+            prop_assert_eq!(sym.as_str(), name.as_str());
+            prop_assert_eq!(Symbol::intern(name), sym);
+            prop_assert_eq!(Symbol::lookup(name), Some(sym));
+        }
+        for (i, a) in names.iter().enumerate() {
+            for (j, b) in names.iter().enumerate() {
+                prop_assert_eq!(a == b, symbols[i] == symbols[j]);
+            }
+        }
+    }
+
+    /// Pool indices stay coherent under random instruction pushes and
+    /// removals: every `BlockId` keeps addressing the same logical block, a
+    /// shadow `Vec<Vec<Inst>>` model matches the per-block views and the
+    /// block-ordered walk, and the function still verifies.
+    #[test]
+    fn pool_indices_stable_under_push_remove(
+        sizes in vec(0usize..6, 1..8),
+        edits in vec((0u16..u16::MAX, 0u16..u16::MAX, proptest::bool::ANY), 0..32),
+    ) {
+        use pibe_ir::{BlockId, Inst, Terminator};
+        let nblocks = sizes.len();
+        let mut m = Module::new("pool");
+        let mut b = FunctionBuilder::new("f", 0);
+        let ids: Vec<BlockId> = (1..nblocks).map(|_| b.new_block()).collect();
+        let mut shadow: Vec<Vec<Inst>> = Vec::with_capacity(nblocks);
+        for (i, &n) in sizes.iter().enumerate() {
+            if i > 0 {
+                b.switch_to(ids[i - 1]);
+            }
+            b.ops(OpKind::Alu, n);
+            shadow.push(vec![Inst::Op(OpKind::Alu); n]);
+            // Chain every block to the next; the last returns.
+            match ids.get(i) {
+                Some(&next) => b.jump(next),
+                None => b.ret(),
+            }
+        }
+        let fid = m.add_function(b.build());
+
+        let f = m.function_mut(fid);
+        for (bsel, isel, push) in edits {
+            let bid = BlockId::from_raw((bsel as usize % nblocks) as u32);
+            let block = &mut shadow[bid.index()];
+            if push {
+                let idx = isel as usize % (block.len() + 1);
+                f.insert_inst(bid, idx, Inst::Op(OpKind::Load));
+                block.insert(idx, Inst::Op(OpKind::Load));
+            } else if !block.is_empty() {
+                let idx = isel as usize % block.len();
+                let got = f.remove_inst(bid, idx);
+                prop_assert_eq!(got, block.remove(idx));
+            }
+        }
+
+        let f = m.function(fid);
+        prop_assert_eq!(f.num_blocks(), nblocks);
+        // Per-block views agree with the shadow model...
+        for (i, block) in shadow.iter().enumerate() {
+            let bid = BlockId::from_raw(i as u32);
+            prop_assert_eq!(f.block_insts(bid), block.as_slice());
+            prop_assert_eq!(f.block(bid).len(), block.len());
+        }
+        // ...as do the block-ordered walk and the pool totals.
+        let walked: Vec<Inst> = f.iter_insts().cloned().collect();
+        let flat: Vec<Inst> = shadow.iter().flatten().cloned().collect();
+        prop_assert_eq!(walked, flat);
+        prop_assert_eq!(f.inst_count(), shadow.iter().map(Vec::len).sum::<usize>());
+        // Terminators survived the repacking: the chain still verifies.
+        for i in 0..nblocks - 1 {
+            let bid = BlockId::from_raw(i as u32);
+            prop_assert_eq!(
+                f.term(bid),
+                &Terminator::Jump { target: BlockId::from_raw(i as u32 + 1) }
+            );
+        }
+        prop_assert!(m.verify().is_ok());
     }
 }
